@@ -1,0 +1,208 @@
+// Command ninjagap runs the reproduction's experiments: every table and
+// figure of the paper's evaluation, the ablations, and single benchmark
+// runs.
+//
+// Usage:
+//
+//	ninjagap <command> [flags]
+//
+// Commands:
+//
+//	table1, table2             characterization tables
+//	fig1 ... fig8              the evaluation figures
+//	ablate                     design ablations (prefetch, SMT, scaling)
+//	all                        every table and figure in order
+//	run -bench B -version V    one measured run
+//	list                       benchmarks, versions, machines
+//
+// Flags:
+//
+//	-scale F     problem-size multiplier (default 1.0; use 0.1 for quick runs)
+//	-bench list  comma-separated benchmark subset
+//	-machine M   machine for `run` (default WestmereX980)
+//	-n N         problem size for `run` (default benchmark's evaluation size)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ninjagap"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scale := fs.Float64("scale", 1.0, "problem-size multiplier")
+	benches := fs.String("bench", "", "comma-separated benchmark subset")
+	machineName := fs.String("machine", "WestmereX980", "machine for `run`")
+	version := fs.String("version", "naive", "version for `run`")
+	n := fs.Int("n", 0, "problem size for `run` (0 = evaluation size)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	cfg := ninjagap.Config{Scale: *scale}
+	if *benches != "" {
+		cfg.Benches = strings.Split(*benches, ",")
+	}
+
+	if err := dispatch(cmd, cfg, *machineName, *version, *n, fs.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ninjagap:", err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(cmd string, cfg ninjagap.Config, machineName, version string, n int, rest []string) error {
+	switch cmd {
+	case "table1":
+		s, err := ninjagap.Table1Suite(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	case "table2":
+		fmt.Print(ninjagap.Table2Machines())
+	case "fig1":
+		r, err := ninjagap.Fig1NinjaGap(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render(ninjagap.Naive))
+	case "fig2":
+		r, err := ninjagap.Fig2Trend(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "fig3":
+		r, err := ninjagap.Fig3Breakdown(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "fig4":
+		r, err := ninjagap.Fig4Compiler(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+		s, err := ninjagap.VecReport(ninjagap.AutoVec, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\nauto-vectorization diagnostics:")
+		fmt.Print(s)
+	case "fig5":
+		r, err := ninjagap.Fig5Algorithmic(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "fig6":
+		r, err := ninjagap.Fig6MIC(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "fig7":
+		r, err := ninjagap.Fig7Hardware(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "fig8":
+		r, err := ninjagap.Fig8Effort(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "ablate":
+		r, err := ninjagap.Ablate(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Render())
+	case "all":
+		return runAll(cfg)
+	case "run":
+		return runOne(cfg, machineName, version, n)
+	case "list":
+		fmt.Println("benchmarks:")
+		for _, b := range ninjagap.Benchmarks() {
+			fmt.Printf("  %-16s %s (%s)\n", b.Name(), b.Description(), b.Character())
+		}
+		fmt.Println("versions:")
+		for _, v := range ninjagap.Versions() {
+			fmt.Printf("  %s\n", v)
+		}
+		fmt.Println("machines:")
+		for _, m := range ninjagap.Machines() {
+			fmt.Printf("  %s\n", m)
+		}
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+func runAll(cfg ninjagap.Config) error {
+	for _, cmd := range []string{"table2", "table1", "fig1", "fig2", "fig3",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "ablate"} {
+		if err := dispatch(cmd, cfg, "", "", 0, nil); err != nil {
+			return fmt.Errorf("%s: %w", cmd, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runOne(cfg ninjagap.Config, machineName, version string, n int) error {
+	m, err := ninjagap.MachineByName(machineName)
+	if err != nil {
+		return err
+	}
+	if len(cfg.Benches) != 1 {
+		return fmt.Errorf("run needs exactly one -bench")
+	}
+	b, err := ninjagap.Benchmark(cfg.Benches[0])
+	if err != nil {
+		return err
+	}
+	var v ninjagap.Version
+	found := false
+	for _, vv := range ninjagap.Versions() {
+		if vv.String() == version {
+			v, found = vv, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown version %q", version)
+	}
+	if n == 0 {
+		n = int(float64(b.DefaultN()) * cfg.Scale)
+	}
+	meas, err := ninjagap.Run(b, v, m, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s/%s on %s (n=%d, %d threads): %v\n",
+		b.Name(), v, m.Name, meas.N, meas.Threads, meas.Res)
+	if meas.Inst.Report != nil {
+		fmt.Print(meas.Inst.Report)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ninjagap <command> [flags]
+commands: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablate all run list
+flags:    -scale F  -bench a,b,c  -machine M  -version V  -n N`)
+}

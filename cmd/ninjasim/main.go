@@ -1,0 +1,97 @@
+// Command ninjasim explores the machine-model space: it sweeps core
+// counts, SIMD widths, or feature sets for one benchmark version and
+// prints the resulting times — the tool behind the trend and
+// hardware-support discussions.
+//
+// Usage:
+//
+//	ninjasim -bench b -version v [-scale f] <cores|simd|features>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ninjagap"
+	"ninjagap/internal/kernels"
+)
+
+func main() {
+	bench := flag.String("bench", "blackscholes", "benchmark")
+	version := flag.String("version", "algo", "version")
+	scale := flag.Float64("scale", 0.5, "problem-size multiplier")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ninjasim -bench b -version v <cores|simd|features>")
+		os.Exit(2)
+	}
+	b, err := ninjagap.Benchmark(*bench)
+	if err != nil {
+		fail(err)
+	}
+	v, err := kernels.ParseVersion(*version)
+	if err != nil {
+		fail(err)
+	}
+	n := int(float64(b.DefaultN()) * *scale)
+
+	switch flag.Arg(0) {
+	case "cores":
+		base := ninjagap.WestmereX980()
+		for _, c := range []int{1, 2, 3, 4, 6, 8, 12, 16} {
+			m := base.WithCores(c)
+			meas, err := ninjagap.Run(b, v, m, n)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%2d cores: %v\n", c, meas.Res)
+		}
+	case "simd":
+		for _, w := range []int{1, 2, 4, 8, 16} {
+			m := ninjagap.WestmereX980()
+			m.VecWidthF32 = w
+			if w > 1 {
+				m.VecWidthF64 = w / 2
+			} else {
+				m.VecWidthF64 = 1
+			}
+			meas, err := ninjagap.Run(b, v, m, n)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%2d-wide SIMD: %v\n", w, meas.Res)
+		}
+	case "features":
+		base := ninjagap.WestmereX980()
+		variants := []struct {
+			name string
+			mut  func(*ninjagap.Features)
+		}{
+			{"baseline", func(*ninjagap.Features) {}},
+			{"+gather/scatter", func(f *ninjagap.Features) { f.HWGather = true; f.HWScatter = true }},
+			{"+FMA", func(f *ninjagap.Features) { f.FMA = true }},
+			{"+both", func(f *ninjagap.Features) { f.HWGather = true; f.HWScatter = true; f.FMA = true }},
+			{"-prefetch", func(f *ninjagap.Features) { f.HWPrefetch = false }},
+			{"-SMT", func(f *ninjagap.Features) { f.SMT = 1 }},
+		}
+		for _, variant := range variants {
+			feat := base.Feat
+			variant.mut(&feat)
+			m := base.WithFeatures(feat)
+			meas, err := ninjagap.Run(b, v, m, n)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%-16s %v\n", variant.name, meas.Res)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "unknown sweep", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ninjasim:", err)
+	os.Exit(1)
+}

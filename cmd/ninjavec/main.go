@@ -1,0 +1,106 @@
+// Command ninjavec shows the compiler's side of the study: for a
+// benchmark, it prints the restricted-C source of each version, the
+// vectorization report (which loops vectorized and why the others did
+// not), and optionally the generated VM code.
+//
+// Usage:
+//
+//	ninjavec [-version v] [-dump] <benchmark>
+//	ninjavec -file kernel.c [-level naive|autovec|pragma] [-dump]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ninjagap"
+	"ninjagap/internal/kernels"
+)
+
+func main() {
+	version := flag.String("version", "", "single version (default: all compiled versions)")
+	dump := flag.Bool("dump", false, "also dump generated VM code")
+	file := flag.String("file", "", "compile a restricted-C kernel file instead of a suite benchmark")
+	level := flag.String("level", "autovec", "compile level for -file: naive, autovec, pragma")
+	flag.Parse()
+	if *file != "" {
+		if err := compileFile(*file, *level, *dump); err != nil {
+			fmt.Fprintln(os.Stderr, "ninjavec:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ninjavec [-version v] [-dump] <benchmark> | ninjavec -file kernel.c")
+		os.Exit(2)
+	}
+	b, err := ninjagap.Benchmark(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ninjavec:", err)
+		os.Exit(1)
+	}
+	versions := []ninjagap.Version{ninjagap.Naive, ninjagap.AutoVec, ninjagap.Pragma, ninjagap.Algo, ninjagap.Ninja}
+	if *version != "" {
+		v, err := kernels.ParseVersion(*version)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ninjavec:", err)
+			os.Exit(1)
+		}
+		versions = []ninjagap.Version{v}
+	}
+	m := ninjagap.WestmereX980()
+	for _, v := range versions {
+		inst, err := b.Prepare(v, m, b.TestN())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ninjavec:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s / %s (%d source statements) ====\n", b.Name(), v, inst.SourceStmts)
+		if inst.Report != nil {
+			fmt.Print(inst.Report)
+		} else {
+			fmt.Println("hand-written VM code (no compiler report)")
+		}
+		if *dump {
+			fmt.Println(inst.Prog.Dump())
+		}
+		fmt.Println()
+	}
+}
+
+// compileFile parses and compiles a user kernel source file, printing the
+// source echo, vectorization report, and optionally the VM code.
+func compileFile(path, level string, dump bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	k, err := ninjagap.ParseKernel(string(src))
+	if err != nil {
+		return err
+	}
+	var opt ninjagap.CompileOptions
+	switch level {
+	case "naive":
+		opt = ninjagap.NaiveOptions()
+	case "autovec":
+		opt = ninjagap.AutoVecOptions()
+	case "pragma":
+		opt = ninjagap.PragmaOptions()
+	default:
+		return fmt.Errorf("unknown level %q", level)
+	}
+	c, err := ninjagap.CompileKernel(k, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Print(k.Print())
+	fmt.Println()
+	fmt.Print(c.Report)
+	if dump {
+		fmt.Println()
+		fmt.Println(c.Prog.Dump())
+	}
+	return nil
+}

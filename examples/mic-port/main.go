@@ -1,0 +1,50 @@
+// MIC port study: the paper's forward-scaling argument. Take the suite's
+// gather-heavy kernels, run the *same* annotated source on the Westmere
+// and on the MIC (more cores, wider SIMD, hardware gather), and show that
+// code optimized the "traditional" way carries over — while naive code
+// falls further behind.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ninjagap"
+)
+
+func main() {
+	benches := []string{"treesearch", "backprojection", "blackscholes", "volumerender"}
+	machines := []*ninjagap.Machine{ninjagap.WestmereX980(), ninjagap.KnightsFerry()}
+
+	for _, name := range benches {
+		b, err := ninjagap.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := b.DefaultN() / 2
+		fmt.Printf("%s (n=%d)\n", name, n)
+		for _, m := range machines {
+			naive, err := ninjagap.Run(b, ninjagap.Naive, m, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			algo, err := ninjagap.Run(b, ninjagap.Algo, m, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ninja, err := ninjagap.Run(b, ninjagap.Ninja, m, n)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-14s naive %9.3f ms | algo %8.3f ms | ninja %8.3f ms | naive gap %6.1fX | final gap %.2fX\n",
+				m.Name,
+				naive.Res.Seconds*1e3, algo.Res.Seconds*1e3, ninja.Res.Seconds*1e3,
+				naive.Res.Seconds/ninja.Res.Seconds,
+				algo.Res.Seconds/ninja.Res.Seconds)
+		}
+		fmt.Println()
+	}
+	fmt.Println("note how the naive gap explodes on the manycore part while the")
+	fmt.Println("algorithmic version stays within a small factor of ninja code —")
+	fmt.Println("the paper's case that traditional optimization carries forward.")
+}

@@ -1,0 +1,3 @@
+module ninjagap
+
+go 1.22

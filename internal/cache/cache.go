@@ -1,0 +1,333 @@
+// Package cache implements a multi-level set-associative data-cache
+// simulator with LRU replacement, write-back/write-allocate policy, and a
+// stride-detecting hardware prefetcher. The execution engine feeds it the
+// kernel's actual dynamic address stream; it reports which level served
+// each access and accounts DRAM traffic for the bandwidth model.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ninjagap/internal/machine"
+)
+
+// Level identifies where an access was served.
+type Level int
+
+// Access service levels. Values above L1 correspond to deeper levels; Mem
+// means the access went to DRAM.
+const (
+	L1 Level = iota + 1
+	L2
+	L3
+	Mem Level = 99
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case Mem:
+		return "DRAM"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Result describes how one access was served.
+type Result struct {
+	Level        Level   // level that had the line (Mem if none)
+	Latency      float64 // load-to-use latency of that level in cycles
+	PrefetchHit  bool    // line was present only because the prefetcher fetched it
+	DRAMBytes    int     // bytes moved to/from DRAM on behalf of this access
+	WritebackHit bool    // a dirty line was written back during this access
+}
+
+type line struct {
+	tag      uint64
+	valid    bool
+	dirty    bool
+	lastUse  uint64 // LRU clock
+	prefetch bool   // filled by prefetcher, not yet demanded
+}
+
+type level struct {
+	cfg      machine.CacheLevel
+	sets     [][]line
+	setMask  uint64
+	offBits  uint
+	clock    uint64
+	stats    LevelStats
+	latency  float64
+	nextName string
+}
+
+// LevelStats aggregates per-level counters.
+type LevelStats struct {
+	Accesses     uint64
+	Hits         uint64
+	Misses       uint64
+	PrefetchHits uint64 // demand hits on prefetched lines
+	Prefetches   uint64 // prefetch fills issued into this level
+	Writebacks   uint64 // dirty evictions
+}
+
+// MissRate returns misses/accesses (0 when no accesses).
+func (s LevelStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+func newLevel(cfg machine.CacheLevel) *level {
+	numSets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	if numSets == 0 || numSets&(numSets-1) != 0 {
+		// Round down to a power of two; Validate on machine should have
+		// caught degenerate configs already.
+		numSets = 1 << uint(bits.Len(uint(numSets))-1)
+	}
+	sets := make([][]line, numSets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Assoc)
+	}
+	return &level{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(numSets - 1),
+		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		latency: cfg.Latency,
+	}
+}
+
+func (l *level) index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr >> l.offBits
+	return lineAddr & l.setMask, lineAddr >> bits.Len64(l.setMask)
+}
+
+// lookup probes the level. On hit it refreshes LRU and returns the line.
+func (l *level) lookup(addr uint64, demand bool) (hit bool, wasPrefetch bool) {
+	set, tag := l.index(addr)
+	l.clock++
+	ways := l.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lastUse = l.clock
+			wasPrefetch = ways[i].prefetch
+			if demand {
+				ways[i].prefetch = false
+			}
+			return true, wasPrefetch
+		}
+	}
+	return false, false
+}
+
+// fill inserts a line, evicting LRU. It reports whether a dirty line was
+// evicted (needs write-back).
+func (l *level) fill(addr uint64, dirty, prefetch bool) (evictedDirty bool, evictedAddr uint64) {
+	set, tag := l.index(addr)
+	l.clock++
+	ways := l.sets[set]
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	v := &ways[victim]
+	if v.valid && v.dirty {
+		evictedDirty = true
+		evictedAddr = ((v.tag << bits.Len64(l.setMask)) | set) << l.offBits
+	}
+	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: l.clock, prefetch: prefetch}
+	return evictedDirty, evictedAddr
+}
+
+// markDirty sets the dirty bit on a resident line (store hit).
+func (l *level) markDirty(addr uint64) {
+	set, tag := l.index(addr)
+	ways := l.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].dirty = true
+			return
+		}
+	}
+}
+
+// Hierarchy simulates one hardware thread's view of the cache hierarchy.
+// Private levels are exclusive to the owner; the shared LLC is modeled as a
+// per-core capacity partition (capacity interference without coherence
+// traffic), which is the granularity the paper's working-set arguments use.
+type Hierarchy struct {
+	levels    []*level
+	pf        *prefetcher
+	lineBytes int
+	dramBytes uint64
+	memLat    float64
+}
+
+// Config controls hierarchy construction.
+type Config struct {
+	// ShareFactor divides shared-level capacity (number of co-running
+	// cores). 0 or 1 means sole occupancy.
+	ShareFactor int
+	// Prefetch enables the stride prefetcher.
+	Prefetch bool
+	// PrefetchDegree is how many lines ahead the prefetcher runs (default 2).
+	PrefetchDegree int
+}
+
+// New builds a hierarchy for the given machine model.
+func New(m *machine.Machine, cfg Config) *Hierarchy {
+	h := &Hierarchy{memLat: m.Mem.Latency}
+	for _, cl := range m.Caches {
+		eff := cl
+		if cl.Shared && cfg.ShareFactor > 1 {
+			eff.SizeBytes = cl.SizeBytes / cfg.ShareFactor
+			if eff.SizeBytes < eff.Assoc*eff.LineBytes {
+				eff.SizeBytes = eff.Assoc * eff.LineBytes
+			}
+		}
+		h.levels = append(h.levels, newLevel(eff))
+	}
+	h.lineBytes = m.Caches[0].LineBytes
+	if cfg.Prefetch {
+		deg := cfg.PrefetchDegree
+		if deg <= 0 {
+			deg = 2
+		}
+		h.pf = newPrefetcher(deg, h.lineBytes)
+	}
+	return h
+}
+
+// LineBytes returns the cache line size.
+func (h *Hierarchy) LineBytes() int { return h.lineBytes }
+
+// DRAMBytes returns cumulative DRAM traffic (fills plus write-backs).
+func (h *Hierarchy) DRAMBytes() uint64 { return h.dramBytes }
+
+// Stats returns a snapshot of per-level statistics, L1 first.
+func (h *Hierarchy) Stats() []LevelStats {
+	out := make([]LevelStats, len(h.levels))
+	for i, l := range h.levels {
+		out[i] = l.stats
+	}
+	return out
+}
+
+// Access simulates one demand access to addr covering size bytes (the
+// engine splits vector accesses into per-line calls, so size never crosses
+// a line). write selects store semantics (write-allocate, write-back).
+func (h *Hierarchy) Access(addr uint64, write bool) Result {
+	res := h.access(addr, write, true)
+	if h.pf != nil {
+		for _, pa := range h.pf.observe(addr) {
+			h.prefetchFill(pa)
+		}
+	}
+	return res
+}
+
+func (h *Hierarchy) access(addr uint64, write, demand bool) Result {
+	var res Result
+	for i, l := range h.levels {
+		l.stats.Accesses++
+		hit, wasPF := l.lookup(addr, demand)
+		if hit {
+			l.stats.Hits++
+			if wasPF {
+				l.stats.PrefetchHits++
+				res.PrefetchHit = true
+			}
+			res.Level = Level(i + 1)
+			res.Latency = l.latency
+			if write {
+				l.markDirty(addr)
+			}
+			// Fill upper levels on a lower-level hit.
+			h.fillUpTo(i, addr, write)
+			return res
+		}
+		l.stats.Misses++
+	}
+	// Missed everywhere: fetch from DRAM.
+	res.Level = Mem
+	res.Latency = h.memLat
+	res.DRAMBytes = h.lineBytes
+	h.dramBytes += uint64(h.lineBytes)
+	h.fillUpTo(len(h.levels), addr, write)
+	return res
+}
+
+// fillUpTo installs the line into levels [0, upto); evicted dirty lines are
+// written back (to DRAM if evicted from the last level).
+func (h *Hierarchy) fillUpTo(upto int, addr uint64, dirty bool) {
+	for i := upto - 1; i >= 0; i-- {
+		evDirty, evAddr := h.levels[i].fill(addr, dirty && i == 0, false)
+		if evDirty {
+			h.levels[i].stats.Writebacks++
+			h.writeback(i+1, evAddr)
+		}
+	}
+}
+
+// writeback pushes a dirty line into the next level down (or DRAM).
+func (h *Hierarchy) writeback(from int, addr uint64) {
+	if from >= len(h.levels) {
+		h.dramBytes += uint64(h.lineBytes)
+		return
+	}
+	l := h.levels[from]
+	if hit, _ := l.lookup(addr, false); hit {
+		l.markDirty(addr)
+		return
+	}
+	// Write-back miss: install dirty without fetching (simplification:
+	// victim lines allocate in the next level).
+	evDirty, evAddr := l.fill(addr, true, false)
+	if evDirty {
+		l.stats.Writebacks++
+		h.writeback(from+1, evAddr)
+	}
+}
+
+// prefetchFill brings a line into L1 (and lower levels) marked as
+// prefetched; it consumes DRAM bandwidth if the line was not cached.
+func (h *Hierarchy) prefetchFill(addr uint64) {
+	// If already in L1, nothing to do.
+	if hit, _ := h.levels[0].lookup(addr, false); hit {
+		return
+	}
+	// Probe deeper levels without counting demand stats.
+	depth := len(h.levels)
+	for i := 1; i < len(h.levels); i++ {
+		if hit, _ := h.levels[i].lookup(addr, false); hit {
+			depth = i
+			break
+		}
+	}
+	if depth == len(h.levels) {
+		h.dramBytes += uint64(h.lineBytes)
+	}
+	for i := depth - 1; i >= 0; i-- {
+		l := h.levels[i]
+		l.stats.Prefetches++
+		evDirty, evAddr := l.fill(addr, false, true)
+		if evDirty {
+			l.stats.Writebacks++
+			h.writeback(i+1, evAddr)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package cache
+
+// prefetcher is a table-based stride prefetcher in the style of the L1/L2
+// streamers on the modeled parts: it tracks access streams per 4 KiB page,
+// detects a constant line-granular stride after two confirmations, and then
+// runs `degree` lines ahead of the demand stream.
+type prefetcher struct {
+	degree    int
+	lineBytes uint64
+	entries   map[uint64]*stream // keyed by page number
+	order     []uint64           // FIFO of pages for capacity eviction
+	capacity  int
+}
+
+type stream struct {
+	lastLine  uint64
+	stride    int64 // in lines
+	confirmed int
+}
+
+func newPrefetcher(degree, lineBytes int) *prefetcher {
+	return &prefetcher{
+		degree:    degree,
+		lineBytes: uint64(lineBytes),
+		entries:   make(map[uint64]*stream),
+		capacity:  32, // tracker entries, like real streamers
+	}
+}
+
+// observe records a demand access and returns the addresses to prefetch.
+func (p *prefetcher) observe(addr uint64) []uint64 {
+	page := addr >> 12
+	lineAddr := addr / p.lineBytes
+	s, ok := p.entries[page]
+	if !ok {
+		if len(p.entries) >= p.capacity {
+			oldest := p.order[0]
+			p.order = p.order[1:]
+			delete(p.entries, oldest)
+		}
+		p.entries[page] = &stream{lastLine: lineAddr}
+		p.order = append(p.order, page)
+		return nil
+	}
+	d := int64(lineAddr) - int64(s.lastLine)
+	s.lastLine = lineAddr
+	if d == 0 {
+		return nil // same line, no new information
+	}
+	if d == s.stride && d != 0 {
+		if s.confirmed < 8 {
+			s.confirmed++
+		}
+	} else {
+		s.stride = d
+		s.confirmed = 0
+		return nil
+	}
+	if s.confirmed < 1 {
+		return nil
+	}
+	// Confirmed stream: prefetch degree lines ahead. Real streamers stop
+	// at page boundaries; we mirror that.
+	out := make([]uint64, 0, p.degree)
+	for i := 1; i <= p.degree; i++ {
+		next := int64(lineAddr) + int64(i)*s.stride
+		if next < 0 {
+			break
+		}
+		na := uint64(next) * p.lineBytes
+		if na>>12 != page {
+			break
+		}
+		out = append(out, na)
+	}
+	return out
+}

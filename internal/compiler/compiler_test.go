@@ -1,0 +1,572 @@
+package compiler
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ninjagap/internal/exec"
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// compileRun compiles a kernel at the given level and executes it.
+func compileRun(t *testing.T, k *lang.Kernel, opt Options, arrays map[string]*vm.Array, threads int) (*Result, *exec.Result) {
+	t.Helper()
+	res, err := Compile(k, opt)
+	if err != nil {
+		t.Fatalf("compile %s: %v", k.Name, err)
+	}
+	r, err := exec.Run(res.Prog, arrays, machine.WestmereX980(), exec.Options{Threads: threads})
+	if err != nil {
+		t.Fatalf("run %s: %v\n%s", k.Name, err, res.Prog.Dump())
+	}
+	return res, r
+}
+
+func mkArrays(n int, names ...string) map[string]*vm.Array {
+	out := map[string]*vm.Array{}
+	for _, nm := range names {
+		a := vm.NewArray(nm, 4, n)
+		for i := range a.Data {
+			a.Data[i] = float64((i*31+7)%97) / 13
+		}
+		out[nm] = a
+	}
+	return out
+}
+
+func saxpyKernel(n int, simd, parallel bool) *lang.Kernel {
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n}
+	y := &lang.Array{Name: "y", Elem: lang.F32, Len: n}
+	return &lang.Kernel{
+		Name:   "saxpy",
+		Arrays: []*lang.Array{x, y},
+		Body: []lang.Stmt{
+			lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(float64(n)),
+				Simd: simd, Parallel: parallel,
+				Body: []lang.Stmt{
+					lang.Assign{LHS: lang.LAt(y, lang.V("i")),
+						X: lang.AddX(lang.MulX(lang.N(2.5), lang.At(x, lang.V("i"))), lang.At(y, lang.V("i")))},
+				}},
+		},
+	}
+}
+
+func saxpyRef(x, y []float64) {
+	for i := range y {
+		y[i] = 2.5*x[i] + y[i]
+	}
+}
+
+func TestNaiveCompileMatchesReference(t *testing.T) {
+	const n = 137
+	k := saxpyKernel(n, false, false)
+	arrays := mkArrays(n, "x", "y")
+	want := append([]float64(nil), arrays["y"].Data...)
+	saxpyRef(arrays["x"].Data, want)
+	res, _ := compileRun(t, k, NaiveOptions(), arrays, 1)
+	for i := 0; i < n; i++ {
+		if arrays["y"].Data[i] != want[i] {
+			t.Fatalf("y[%d] = %g, want %g", i, arrays["y"].Data[i], want[i])
+		}
+	}
+	if res.Report.Vectorized() {
+		t.Error("naive compile must not vectorize")
+	}
+}
+
+func TestAutoVecUsesRuntimeAliasCheck(t *testing.T) {
+	const n = 137
+	k := saxpyKernel(n, false, false)
+	arrays := mkArrays(n, "x", "y")
+	want := append([]float64(nil), arrays["y"].Data...)
+	saxpyRef(arrays["x"].Data, want)
+	res, rv := compileRun(t, k, AutoVecOptions(), arrays, 1)
+	if !res.Report.Vectorized() {
+		t.Fatalf("auto-vec failed: %v", res.Report.FailureReasons())
+	}
+	if !strings.Contains(res.Report.Loops[0].Reason, "aliasing check") {
+		t.Errorf("expected multiversioning note, got %q", res.Report.Loops[0].Reason)
+	}
+	for i := 0; i < n; i++ {
+		if arrays["y"].Data[i] != want[i] {
+			t.Fatalf("vectorized y[%d] = %g, want %g", i, arrays["y"].Data[i], want[i])
+		}
+	}
+	// Vectorized must beat naive.
+	arrays2 := mkArrays(n, "x", "y")
+	_, rn := compileRun(t, saxpyKernel(n, false, false), NaiveOptions(), arrays2, 1)
+	if rv.Cycles >= rn.Cycles {
+		t.Errorf("vectorized (%.0f cyc) not faster than naive (%.0f cyc)", rv.Cycles, rn.Cycles)
+	}
+}
+
+func TestAliasingRefusalBeyondMultiversionLimit(t *testing.T) {
+	const n = 64
+	arrs := make([]*lang.Array, 6)
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for i, nm := range names {
+		arrs[i] = &lang.Array{Name: nm, Elem: lang.F32, Len: n}
+	}
+	sum := lang.At(arrs[1], lang.V("i"))
+	for _, a := range arrs[2:] {
+		sum = lang.AddX(sum, lang.At(a, lang.V("i")))
+	}
+	k := &lang.Kernel{Name: "many", Arrays: arrs, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(arrs[0], lang.V("i")), X: sum},
+		}},
+	}}
+	res, err := Compile(k, AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Vectorized() {
+		t.Error("6-array aliasing should exceed multiversioning limit")
+	}
+	if !strings.Contains(res.Report.Loops[0].Reason, "aliasing") {
+		t.Errorf("reason = %q, want aliasing", res.Report.Loops[0].Reason)
+	}
+	// restrict on all arrays fixes it without pragmas.
+	for _, a := range arrs {
+		a.Restrict = true
+	}
+	res2, err := Compile(k, AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Report.Vectorized() {
+		t.Errorf("restrict-qualified kernel failed to vectorize: %v", res2.Report.FailureReasons())
+	}
+}
+
+func TestCarriedArrayDependenceRefused(t *testing.T) {
+	const n = 64
+	a := &lang.Array{Name: "a", Elem: lang.F32, Len: n, Restrict: true}
+	k := &lang.Kernel{Name: "scan", Arrays: []*lang.Array{a}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(1), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(a, lang.V("i")),
+				X: lang.AddX(lang.At(a, lang.SubX(lang.V("i"), lang.N(1))), lang.At(a, lang.V("i")))},
+		}},
+	}}
+	res, err := Compile(k, AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Vectorized() {
+		t.Error("prefix-sum dependence must not vectorize")
+	}
+	if !strings.Contains(res.Report.Loops[0].Reason, "dependence") {
+		t.Errorf("reason = %q, want dependence", res.Report.Loops[0].Reason)
+	}
+}
+
+func TestCarriedScalarDependenceRefusedButSimdForces(t *testing.T) {
+	const n = 64
+	a := &lang.Array{Name: "a", Elem: lang.F32, Len: n, Restrict: true}
+	mk := func(simd bool) *lang.Kernel {
+		return &lang.Kernel{Name: "chain", Arrays: []*lang.Array{a}, Body: []lang.Stmt{
+			lang.Let{Name: "s", X: lang.N(1)},
+			lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Simd: simd, Body: []lang.Stmt{
+				lang.Let{Name: "s", X: lang.MulX(lang.V("s"), lang.N(1.0001))}, // not a recognized reduction
+				lang.Assign{LHS: lang.LAt(a, lang.V("i")), X: lang.V("s")},
+			}},
+		}}
+	}
+	res, err := Compile(mk(false), AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Vectorized() {
+		t.Error("carried multiplicative scalar must not auto-vectorize")
+	}
+	res2, err := Compile(mk(true), PragmaOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Report.Vectorized() {
+		t.Error("#pragma simd must force vectorization")
+	}
+}
+
+func TestSumReductionVectorizesAndIsCorrect(t *testing.T) {
+	const n = 1003
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: 1, Restrict: true}
+	k := &lang.Kernel{Name: "sum", Arrays: []*lang.Array{x, out}, Body: []lang.Stmt{
+		lang.Let{Name: "s", X: lang.N(10)}, // non-zero initial value
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Let{Name: "s", X: lang.AddX(lang.V("s"), lang.At(x, lang.V("i")))},
+		}},
+		lang.Assign{LHS: lang.LAt(out, lang.N(0)), X: lang.V("s")},
+	}}
+	arrays := mkArrays(n, "x")
+	arrays["out"] = vm.NewArray("out", 4, 1)
+	want := 10.0
+	for _, v := range arrays["x"].Data {
+		want += v
+	}
+	res, _ := compileRun(t, k, AutoVecOptions(), arrays, 1)
+	if !res.Report.Vectorized() {
+		t.Fatalf("reduction failed to vectorize: %v", res.Report.FailureReasons())
+	}
+	if got := arrays["out"].Data[0]; math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestParallelReduction(t *testing.T) {
+	const n = 10240
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: 1, Restrict: true}
+	k := &lang.Kernel{Name: "psum", Arrays: []*lang.Array{x, out}, Body: []lang.Stmt{
+		lang.Let{Name: "s", X: lang.N(0)},
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Parallel: true, Body: []lang.Stmt{
+			lang.Let{Name: "s", X: lang.AddX(lang.V("s"), lang.At(x, lang.V("i")))},
+		}},
+		lang.Assign{LHS: lang.LAt(out, lang.N(0)), X: lang.V("s")},
+	}}
+	arrays := mkArrays(n, "x")
+	arrays["out"] = vm.NewArray("out", 4, 1)
+	want := 0.0
+	for _, v := range arrays["x"].Data {
+		want += v
+	}
+	res, _ := compileRun(t, k, PragmaOptions(), arrays, 6)
+	if !res.Report.Parallelized() {
+		t.Fatal("parallel loop not threaded")
+	}
+	if got := arrays["out"].Data[0]; math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Errorf("parallel sum = %g, want %g", got, want)
+	}
+}
+
+func TestMinMaxReduction(t *testing.T) {
+	const n = 511
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: 2, Restrict: true}
+	k := &lang.Kernel{Name: "minmax", Arrays: []*lang.Array{x, out}, Body: []lang.Stmt{
+		lang.Let{Name: "lo", X: lang.N(1e30)},
+		lang.Let{Name: "hi", X: lang.N(-1e30)},
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Let{Name: "lo", X: lang.Min2(lang.V("lo"), lang.At(x, lang.V("i")))},
+		}},
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Let{Name: "hi", X: lang.Max2(lang.V("hi"), lang.At(x, lang.V("i")))},
+		}},
+		lang.Assign{LHS: lang.LAt(out, lang.N(0)), X: lang.V("lo")},
+		lang.Assign{LHS: lang.LAt(out, lang.N(1)), X: lang.V("hi")},
+	}}
+	arrays := mkArrays(n, "x")
+	arrays["x"].Data[123] = -42
+	arrays["x"].Data[400] = 99
+	arrays["out"] = vm.NewArray("out", 4, 2)
+	res, _ := compileRun(t, k, AutoVecOptions(), arrays, 1)
+	if !res.Report.Vectorized() {
+		t.Fatalf("min/max reductions failed to vectorize: %v", res.Report.FailureReasons())
+	}
+	if arrays["out"].Data[0] != -42 || arrays["out"].Data[1] != 99 {
+		t.Errorf("minmax = %v, want [-42 99]", arrays["out"].Data)
+	}
+}
+
+func TestIfConversionMatchesScalar(t *testing.T) {
+	const n = 333
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	y := &lang.Array{Name: "y", Elem: lang.F32, Len: n, Restrict: true}
+	k := &lang.Kernel{Name: "clamp", Arrays: []*lang.Array{x, y}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Let{Name: "v", X: lang.At(x, lang.V("i"))},
+			lang.If{Cond: lang.GtX(lang.V("v"), lang.N(3)), MissProb: 0.5,
+				Then: []lang.Stmt{
+					lang.Assign{LHS: lang.LAt(y, lang.V("i")), X: lang.MulX(lang.V("v"), lang.N(2))},
+				},
+				Else: []lang.Stmt{
+					lang.Assign{LHS: lang.LAt(y, lang.V("i")), X: lang.Fn("neg", lang.V("v"))},
+				}},
+		}},
+	}}
+	a1 := mkArrays(n, "x", "y")
+	a2 := mkArrays(n, "x", "y")
+	_, _ = compileRun(t, k, NaiveOptions(), a1, 1)
+	res, _ := compileRun(t, k, AutoVecOptions(), a2, 1)
+	if !res.Report.Vectorized() {
+		t.Fatalf("if-convertible loop failed to vectorize: %v", res.Report.FailureReasons())
+	}
+	for i := 0; i < n; i++ {
+		if a1["y"].Data[i] != a2["y"].Data[i] {
+			t.Fatalf("y[%d]: scalar %g vs vector %g", i, a1["y"].Data[i], a2["y"].Data[i])
+		}
+	}
+}
+
+func TestAoSGeneratesStridedOrGather(t *testing.T) {
+	const n = 128
+	aos := &lang.Array{Name: "opt", Elem: lang.F32, Len: n, Fields: 5, Restrict: true}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: n, Restrict: true}
+	k := &lang.Kernel{Name: "aos", Arrays: []*lang.Array{aos, out}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(out, lang.V("i")),
+				X: lang.AddX(lang.AtF(aos, lang.V("i"), 0), lang.AtF(aos, lang.V("i"), 3))},
+		}},
+	}}
+	res, err := Compile(k, AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Vectorized() {
+		t.Fatalf("AoS loop failed to vectorize: %v", res.Report.FailureReasons())
+	}
+	l := res.Report.Loops[0]
+	if l.StridedRefs+l.GatherRefs == 0 {
+		t.Error("AoS accesses should produce strided or gathered references")
+	}
+	// SoA layout removes them.
+	aos.SoA = true
+	res2, err := Compile(k, AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := res2.Report.Loops[0]
+	if l2.StridedRefs+l2.GatherRefs != 0 {
+		t.Errorf("SoA accesses still strided/gathered: %+v", l2)
+	}
+}
+
+func TestAoSVectorFunctionalCorrectness(t *testing.T) {
+	const n = 57
+	aos := &lang.Array{Name: "r", Elem: lang.F32, Len: n, Fields: 3, Restrict: true}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: n, Restrict: true}
+	k := &lang.Kernel{Name: "aosfun", Arrays: []*lang.Array{aos, out}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(out, lang.V("i")),
+				X: lang.MulX(lang.AtF(aos, lang.V("i"), 1), lang.AtF(aos, lang.V("i"), 2))},
+		}},
+	}}
+	arrays := map[string]*vm.Array{
+		"r":   vm.NewArray("r", 4, n*3),
+		"out": vm.NewArray("out", 4, n),
+	}
+	for i := 0; i < n*3; i++ {
+		arrays["r"].Data[i] = float64(i%11) + 1
+	}
+	compileRun(t, k, AutoVecOptions(), arrays, 1)
+	for i := 0; i < n; i++ {
+		want := arrays["r"].Data[i*3+1] * arrays["r"].Data[i*3+2]
+		if arrays["out"].Data[i] != want {
+			t.Fatalf("out[%d] = %g, want %g", i, arrays["out"].Data[i], want)
+		}
+	}
+}
+
+func TestWhileRefusedWithoutSimdVectorizedWith(t *testing.T) {
+	const n = 64
+	const iters = 10
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	mk := func(simd bool) *lang.Kernel {
+		// For each element: repeated halving until below threshold.
+		return &lang.Kernel{Name: "halve", Arrays: []*lang.Array{x}, Body: []lang.Stmt{
+			lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Simd: simd, Body: []lang.Stmt{
+				lang.Let{Name: "v", X: lang.At(x, lang.V("i"))},
+				lang.While{Cond: lang.GtX(lang.V("v"), lang.N(1)), MissProb: 0.2, Body: []lang.Stmt{
+					lang.Let{Name: "v", X: lang.MulX(lang.V("v"), lang.N(0.5))},
+				}},
+				lang.Assign{LHS: lang.LAt(x, lang.V("i")), X: lang.V("v")},
+			}},
+		}}
+	}
+	_ = iters
+	res, err := Compile(mk(false), AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Vectorized() {
+		t.Error("while-containing loop must not auto-vectorize")
+	}
+	if !strings.Contains(res.Report.Loops[0].Reason, "while") {
+		t.Errorf("reason = %q, want while mention", res.Report.Loops[0].Reason)
+	}
+
+	// With #pragma simd the masked-divergence form must match scalar.
+	a1 := mkArrays(n, "x")
+	a2 := map[string]*vm.Array{"x": vm.NewArray("x", 4, n)}
+	copy(a2["x"].Data, a1["x"].Data)
+	for i := range a1["x"].Data {
+		v := float64((i*13)%29) + 0.5
+		a1["x"].Data[i] = v
+		a2["x"].Data[i] = v
+	}
+	compileRun(t, mk(false), NaiveOptions(), a1, 1)
+	res2, _ := compileRun(t, mk(true), PragmaOptions(), a2, 1)
+	if !res2.Report.Vectorized() {
+		t.Fatalf("simd while loop failed to vectorize: %v", res2.Report.FailureReasons())
+	}
+	for i := 0; i < n; i++ {
+		if a1["x"].Data[i] != a2["x"].Data[i] {
+			t.Fatalf("x[%d]: scalar %g vs masked-vector %g", i, a1["x"].Data[i], a2["x"].Data[i])
+		}
+	}
+}
+
+func TestOuterLoopNotVectorizedInnerIs(t *testing.T) {
+	const rows, cols = 16, 64
+	a := &lang.Array{Name: "a", Elem: lang.F32, Len: rows * cols, Restrict: true}
+	k := &lang.Kernel{Name: "rows", Arrays: []*lang.Array{a}, Body: []lang.Stmt{
+		lang.For{Var: "r", Lo: lang.N(0), Hi: lang.N(rows), Body: []lang.Stmt{
+			lang.For{Var: "c", Lo: lang.N(0), Hi: lang.N(cols), Body: []lang.Stmt{
+				lang.Let{Name: "idx", X: lang.AddX(lang.MulX(lang.V("r"), lang.N(cols)), lang.V("c"))},
+				lang.Assign{LHS: lang.LAt(a, lang.V("idx")),
+					X: lang.MulX(lang.At(a, lang.V("idx")), lang.N(2))},
+			}},
+		}},
+	}}
+	res, err := Compile(k, AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Loops) != 2 {
+		t.Fatalf("expected 2 loop reports, got %d", len(res.Report.Loops))
+	}
+	if res.Report.Loops[0].Vectorized {
+		t.Error("outer loop must not vectorize")
+	}
+	if !res.Report.Loops[1].Vectorized {
+		t.Errorf("inner loop failed to vectorize: %s", res.Report.Loops[1].Reason)
+	}
+}
+
+func TestDynamicBounds(t *testing.T) {
+	const n = 40
+	a := &lang.Array{Name: "a", Elem: lang.F32, Len: n, Restrict: true}
+	// Blocked loop: outer blocks of 16, inner over min(16, n-b).
+	k := &lang.Kernel{Name: "blocked", Arrays: []*lang.Array{a}, Body: []lang.Stmt{
+		lang.For{Var: "b", Lo: lang.N(0), Hi: lang.N(3), Body: []lang.Stmt{
+			lang.Let{Name: "lo", X: lang.MulX(lang.V("b"), lang.N(16))},
+			lang.Let{Name: "hi", X: lang.Min2(lang.AddX(lang.V("lo"), lang.N(16)), lang.N(n))},
+			lang.For{Var: "i", Lo: lang.V("lo"), Hi: lang.V("hi"), Body: []lang.Stmt{
+				lang.Assign{LHS: lang.LAt(a, lang.V("i")),
+					X: lang.AddX(lang.At(a, lang.V("i")), lang.N(1))},
+			}},
+		}},
+	}}
+	arrays := map[string]*vm.Array{"a": vm.NewArray("a", 4, n)}
+	compileRun(t, k, AutoVecOptions(), arrays, 1)
+	for i := 0; i < n; i++ {
+		if arrays["a"].Data[i] != 1 {
+			t.Fatalf("a[%d] = %g, want 1 (blocked loop coverage)", i, arrays["a"].Data[i])
+		}
+	}
+}
+
+func TestGatherIndexKernel(t *testing.T) {
+	const n = 96
+	idx := &lang.Array{Name: "idx", Elem: lang.F32, Len: n, Restrict: true}
+	src := &lang.Array{Name: "src", Elem: lang.F32, Len: n, Restrict: true}
+	dst := &lang.Array{Name: "dst", Elem: lang.F32, Len: n, Restrict: true}
+	k := &lang.Kernel{Name: "gather", Arrays: []*lang.Array{idx, src, dst}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(dst, lang.V("i")),
+				X: lang.At(src, lang.At(idx, lang.V("i")))},
+		}},
+	}}
+	arrays := map[string]*vm.Array{
+		"idx": vm.NewArray("idx", 4, n),
+		"src": vm.NewArray("src", 4, n),
+		"dst": vm.NewArray("dst", 4, n),
+	}
+	for i := 0; i < n; i++ {
+		arrays["idx"].Data[i] = float64((i * 7) % n)
+		arrays["src"].Data[i] = float64(i * i)
+	}
+	res, _ := compileRun(t, k, AutoVecOptions(), arrays, 1)
+	if !res.Report.Vectorized() {
+		t.Fatalf("gather loop failed to vectorize: %v", res.Report.FailureReasons())
+	}
+	if res.Report.Loops[0].GatherRefs == 0 {
+		t.Error("indirect read should be compiled as a gather")
+	}
+	for i := 0; i < n; i++ {
+		want := arrays["src"].Data[(i*7)%n]
+		if arrays["dst"].Data[i] != want {
+			t.Fatalf("dst[%d] = %g, want %g", i, arrays["dst"].Data[i], want)
+		}
+	}
+}
+
+func TestParallelAndSerialMatch(t *testing.T) {
+	// Compute-bound kernel (transcendentals) so threading pays off; a
+	// streaming saxpy would be bandwidth-bound and rightly not scale.
+	const n = 1 << 15
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	y := &lang.Array{Name: "y", Elem: lang.F32, Len: n, Restrict: true}
+	k := &lang.Kernel{Name: "translate", Arrays: []*lang.Array{x, y}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Simd: true, Parallel: true,
+			Body: []lang.Stmt{
+				lang.Let{Name: "v", X: lang.At(x, lang.V("i"))},
+				lang.Let{Name: "e", X: lang.Exp(lang.V("v"))},
+				lang.Let{Name: "l", X: lang.Log(lang.AddX(lang.V("v"), lang.N(2)))},
+				lang.Let{Name: "s", X: lang.Sqrt(lang.AddX(lang.MulX(lang.V("e"), lang.V("e")), lang.MulX(lang.V("l"), lang.V("l"))))},
+				lang.Assign{LHS: lang.LAt(y, lang.V("i")), X: lang.V("s")},
+			}},
+	}}
+	a1 := mkArrays(n, "x", "y")
+	a2 := map[string]*vm.Array{
+		"x": vm.NewArray("x", 4, n), "y": vm.NewArray("y", 4, n),
+	}
+	copy(a2["x"].Data, a1["x"].Data)
+	copy(a2["y"].Data, a1["y"].Data)
+	_, r1 := compileRun(t, k, PragmaOptions(), a1, 1)
+	_, r6 := compileRun(t, k, PragmaOptions(), a2, 6)
+	for i := 0; i < n; i++ {
+		if a1["y"].Data[i] != a2["y"].Data[i] {
+			t.Fatalf("thread-count changed results at %d", i)
+		}
+	}
+	if r6.Cycles >= r1.Cycles {
+		t.Errorf("6 threads (%.0f cyc) not faster than 1 (%.0f cyc)", r6.Cycles, r1.Cycles)
+	}
+}
+
+func TestSelectCompilesWithoutBranch(t *testing.T) {
+	const n = 64
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	k := &lang.Kernel{Name: "sel", Arrays: []*lang.Array{x}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(x, lang.V("i")),
+				X: lang.Select(lang.GtX(lang.At(x, lang.V("i")), lang.N(2)), lang.N(1), lang.N(0))},
+		}},
+	}}
+	arrays := mkArrays(n, "x")
+	want := make([]float64, n)
+	for i, v := range arrays["x"].Data {
+		if v > 2 {
+			want[i] = 1
+		}
+	}
+	compileRun(t, k, NaiveOptions(), arrays, 1)
+	for i := 0; i < n; i++ {
+		if arrays["x"].Data[i] != want[i] {
+			t.Fatalf("select x[%d] = %g, want %g", i, arrays["x"].Data[i], want[i])
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	res, err := Compile(saxpyKernel(64, false, false), AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Report.String()
+	if !strings.Contains(s, "saxpy") || !strings.Contains(s, "VECTORIZED") {
+		t.Errorf("report rendering missing pieces:\n%s", s)
+	}
+}
+
+func TestCompileRejectsInvalidKernel(t *testing.T) {
+	k := &lang.Kernel{Name: "bad", Body: []lang.Stmt{lang.Let{Name: "a", X: lang.V("undefined")}}}
+	if _, err := Compile(k, NaiveOptions()); err == nil {
+		t.Error("kernel reading undefined variable should fail to compile")
+	}
+}

@@ -1,0 +1,457 @@
+package compiler
+
+import (
+	"fmt"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/vm"
+)
+
+// Value shapes. A uniform value (constant or broadcast) is valid both as a
+// scalar (lane 0) and as a vector.
+type shape int
+
+const (
+	shScalar shape = iota
+	shVector
+	shUniform
+)
+
+// eval compiles an expression at the current position and returns its
+// register and whether the result is per-lane (vector). Inside a
+// vectorized loop, values derived from the induction variable are vectors;
+// everything else is scalar/uniform.
+func (c *cg) eval(e lang.Expr) (reg int, vec bool, err error) {
+	r, sh, err := c.evalShape(e)
+	return r, sh == shVector, err
+}
+
+func (c *cg) evalShape(e lang.Expr) (int, shape, error) {
+	switch x := e.(type) {
+	case lang.Num:
+		return c.constReg(x.V), shUniform, nil
+
+	case lang.Var:
+		vi := c.vars[x.Name]
+		if vi == nil {
+			return 0, 0, fmt.Errorf("compiler: kernel %s: undefined variable %q", c.k.Name, x.Name)
+		}
+		if vi.vec && !c.scalarView {
+			return vi.reg, shVector, nil
+		}
+		return vi.reg, shScalar, nil
+
+	case lang.Bin:
+		return c.evalBin(x)
+
+	case lang.Call:
+		return c.evalCall(x)
+
+	case lang.Access:
+		return c.evalLoad(x)
+
+	default:
+		return 0, 0, fmt.Errorf("compiler: kernel %s: cannot evaluate %T", c.k.Name, e)
+	}
+}
+
+// constReg returns the register holding a constant, emitting it at the
+// current position if the prepass did not already materialize it.
+func (c *cg) constReg(v float64) int {
+	if r, ok := c.consts[v]; ok {
+		return r
+	}
+	return c.b.Const(v)
+}
+
+// binOps maps source operators to VM opcodes for the arithmetic subset.
+var binOps = map[lang.BinOp]vm.Op{
+	lang.Add: vm.OpAdd, lang.Sub: vm.OpSub, lang.Mul: vm.OpMul, lang.Div: vm.OpDiv,
+	lang.Lt: vm.OpCmpLT, lang.Le: vm.OpCmpLE, lang.Gt: vm.OpCmpGT, lang.Ge: vm.OpCmpGE,
+	lang.Eq: vm.OpCmpEQ, lang.Ne: vm.OpCmpNE, lang.And: vm.OpAndM, lang.Or: vm.OpOrM,
+}
+
+func (c *cg) evalBin(x lang.Bin) (int, shape, error) {
+	// Fold a*b+c / c+a*b into FMA where the machine-independent VM op
+	// exists (the engine splits it into mul+add without FMA hardware).
+	// Address arithmetic is not folded: it lowers to integer LEA-style
+	// sequences.
+	if x.Op == lang.Add && c.addrMode == 0 {
+		if m, ok := x.L.(lang.Bin); ok && m.Op == lang.Mul {
+			return c.evalFMA(m.L, m.R, x.R)
+		}
+		if m, ok := x.R.(lang.Bin); ok && m.Op == lang.Mul {
+			return c.evalFMA(m.L, m.R, x.L)
+		}
+	}
+	l, shL, err := c.evalShape(x.L)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, shR, err := c.evalShape(x.R)
+	if err != nil {
+		return 0, 0, err
+	}
+	op, ok := binOps[x.Op]
+	if !ok {
+		return 0, 0, fmt.Errorf("compiler: kernel %s: unsupported operator %s", c.k.Name, x.Op)
+	}
+	if op == vm.OpDiv && c.opt.FastMath {
+		return c.fastDiv(l, shL, r, shR)
+	}
+	return c.emit2(op, l, shL, r, shR)
+}
+
+// fastDiv lowers a/b to a * rcp(b) refined by one Newton step:
+// d0 = rcp(b); d = d0*(2 - b*d0); result = a*d.
+func (c *cg) fastDiv(a int, shA shape, b int, shB shape) (int, shape, error) {
+	sh := joinShape(shA, shB)
+	scalar := sh != shVector
+	emit1 := func(op vm.Op, x int) int {
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: op, Dst: out, A: x, Scalar: scalar})
+		return out
+	}
+	emit2 := func(op vm.Op, x, y int) int {
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: op, Dst: out, A: x, B: y, Scalar: scalar})
+		return out
+	}
+	if sh == shVector {
+		a, b = c.toVec(a, shA), c.toVec(b, shB)
+	}
+	d0 := emit1(vm.OpRcp, b)
+	two := c.constReg(2)
+	bd := emit2(vm.OpMul, b, d0)
+	corr := emit2(vm.OpSub, two, bd)
+	d := emit2(vm.OpMul, d0, corr)
+	out := emit2(vm.OpMul, a, d)
+	return out, sh, nil
+}
+
+// fastSqrt lowers sqrt(x) to x * rsqrt_nr(x):
+// r0 = rsqrt(x); r = r0*(1.5 - 0.5*x*r0*r0); result = x*r.
+func (c *cg) fastSqrt(x int, shX shape) (int, shape, error) {
+	sh := shX
+	scalar := sh != shVector
+	emit1 := func(op vm.Op, a int) int {
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: op, Dst: out, A: a, Scalar: scalar})
+		return out
+	}
+	emit2 := func(op vm.Op, a, b int) int {
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: op, Dst: out, A: a, B: b, Scalar: scalar})
+		return out
+	}
+	r0 := emit1(vm.OpRsqrt, x)
+	half := c.constReg(0.5)
+	oneHalf := c.constReg(1.5)
+	xr := emit2(vm.OpMul, x, r0)
+	xrr := emit2(vm.OpMul, xr, r0)
+	hxrr := emit2(vm.OpMul, half, xrr)
+	corr := emit2(vm.OpSub, oneHalf, hxrr)
+	r := emit2(vm.OpMul, r0, corr)
+	out := emit2(vm.OpMul, x, r)
+	if sh == shUniform {
+		sh = shScalar
+	}
+	return out, sh, nil
+}
+
+func (c *cg) evalFMA(a, b, d lang.Expr) (int, shape, error) {
+	ra, sa, err := c.evalShape(a)
+	if err != nil {
+		return 0, 0, err
+	}
+	rb, sb, err := c.evalShape(b)
+	if err != nil {
+		return 0, 0, err
+	}
+	rd, sd, err := c.evalShape(d)
+	if err != nil {
+		return 0, 0, err
+	}
+	sh := joinShape(joinShape(sa, sb), sd)
+	if sh == shVector {
+		ra, rb, rd = c.toVec(ra, sa), c.toVec(rb, sb), c.toVec(rd, sd)
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: vm.OpFMA, Dst: out, A: ra, B: rb, C: rd})
+		return out, shVector, nil
+	}
+	out := c.b.Reg()
+	c.b.Emit(vm.Instr{Op: vm.OpFMA, Dst: out, A: ra, B: rb, C: rd, Scalar: sh == shScalar})
+	return out, sh, nil
+}
+
+var callOps = map[string]vm.Op{
+	"sqrt": vm.OpSqrt, "rsqrt": vm.OpRsqrt, "rcp": vm.OpRcp,
+	"exp": vm.OpExp, "log": vm.OpLog, "sin": vm.OpSin, "cos": vm.OpCos,
+	"abs": vm.OpAbs, "neg": vm.OpNeg, "floor": vm.OpFloor, "not": vm.OpNotM,
+}
+
+func (c *cg) evalCall(x lang.Call) (int, shape, error) {
+	switch x.Fn {
+	case "min", "max":
+		l, shL, err := c.evalShape(x.Args[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		r, shR, err := c.evalShape(x.Args[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		op := vm.OpMin
+		if x.Fn == "max" {
+			op = vm.OpMax
+		}
+		return c.emit2(op, l, shL, r, shR)
+	case "select":
+		cond, shC, err := c.evalShape(x.Args[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		a, shA, err := c.evalShape(x.Args[1])
+		if err != nil {
+			return 0, 0, err
+		}
+		b2, shB, err := c.evalShape(x.Args[2])
+		if err != nil {
+			return 0, 0, err
+		}
+		sh := joinShape(joinShape(shC, shA), shB)
+		if sh == shVector {
+			cond, a, b2 = c.toVec(cond, shC), c.toVec(a, shA), c.toVec(b2, shB)
+			return c.b.Blend(a, b2, cond), shVector, nil
+		}
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: vm.OpBlend, Dst: out, A: a, B: b2, C: cond, Scalar: sh == shScalar})
+		return out, sh, nil
+	default:
+		op, ok := callOps[x.Fn]
+		if !ok {
+			return 0, 0, fmt.Errorf("compiler: kernel %s: unknown builtin %q", c.k.Name, x.Fn)
+		}
+		a, shA, err := c.evalShape(x.Args[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		if op == vm.OpSqrt && c.opt.FastMath {
+			return c.fastSqrt(a, shA)
+		}
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: op, Dst: out, A: a, Scalar: shA != shVector})
+		sh := shA
+		if sh == shUniform {
+			sh = shScalar // result computed in lane 0 at scalar cost
+		}
+		return out, sh, nil
+	}
+}
+
+// emit2 emits a binary op with shape promotion. Arithmetic emitted while
+// evaluating an index expression is flagged as address math.
+func (c *cg) emit2(op vm.Op, l int, shL shape, r int, shR shape) (int, shape, error) {
+	sh := joinShape(shL, shR)
+	addr := c.addrMode > 0
+	out := c.b.Reg()
+	if sh == shVector {
+		l, r = c.toVec(l, shL), c.toVec(r, shR)
+		c.b.Emit(vm.Instr{Op: op, Dst: out, A: l, B: r, Addr: addr})
+		return out, shVector, nil
+	}
+	c.b.Emit(vm.Instr{Op: op, Dst: out, A: l, B: r, Scalar: sh == shScalar, Addr: addr})
+	return out, sh, nil
+}
+
+// evalIndex evaluates an index expression in address-arithmetic mode.
+func (c *cg) evalIndex(e lang.Expr) (int, shape, error) {
+	c.addrMode++
+	r, sh, err := c.evalShape(e)
+	c.addrMode--
+	return r, sh, err
+}
+
+// evalIndexScalar evaluates an affine index as a scalar base address.
+func (c *cg) evalIndexScalar(e lang.Expr) (int, shape, error) {
+	c.addrMode++
+	r, sh, err := c.evalScalarView(e)
+	c.addrMode--
+	return r, sh, err
+}
+
+// joinShape computes the result shape of combining operand shapes.
+func joinShape(a, b shape) shape {
+	if a == shVector || b == shVector {
+		return shVector
+	}
+	if a == shScalar || b == shScalar {
+		return shScalar
+	}
+	return shUniform
+}
+
+// toVec widens a value to per-lane form.
+func (c *cg) toVec(r int, sh shape) int {
+	if sh == shScalar {
+		return c.b.Broadcast(r)
+	}
+	return r // vectors and uniforms are already lane-complete
+}
+
+// flatIndexExpr lowers a record access to a flat element index expression
+// according to the array layout.
+func flatIndexExpr(a lang.Access) lang.Expr {
+	fc := a.A.FieldCount()
+	if fc == 1 {
+		return a.Idx
+	}
+	if a.A.SoA {
+		// field plane f starts at f*Len.
+		return lang.AddX(lang.N(float64(a.Field*a.A.Len)), a.Idx)
+	}
+	// AoS: record i field f at i*fc+f.
+	return lang.AddX(lang.MulX(a.Idx, lang.N(float64(fc))), lang.N(float64(a.Field)))
+}
+
+// idxIsCarried reports whether an index expression depends on a
+// loop-carried local (pointer chasing): such loads lose MLP.
+func (c *cg) idxIsCarried(idx lang.Expr) bool {
+	if len(c.carried) == 0 {
+		return false
+	}
+	used := map[string]bool{}
+	lang.VarsUsed(idx, used)
+	for name := range used {
+		if c.carried[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// evalLoad compiles an array read.
+func (c *cg) evalLoad(a lang.Access) (int, shape, error) {
+	flat := flatIndexExpr(a)
+	arr := c.arrIdx[a.A]
+	carried := c.idxIsCarried(flat)
+
+	if c.vecCtx == nil {
+		idx, _, err := c.evalIndex(flat)
+		if err != nil {
+			return 0, 0, err
+		}
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: vm.OpLoad, Dst: out, A: idx, Arr: arr, Scalar: true, Carried: carried})
+		return out, shScalar, nil
+	}
+
+	// Hoisted invariant load?
+	if r, ok := c.vecCtx.hoisted[a.A.Name+"@"+lang.ExprString(flat)]; ok {
+		return r, shVector, nil
+	}
+
+	// Vectorized context: classify the index by its affine form in the
+	// vectorized induction variable.
+	coeff, affOK := c.affine(flat)
+	switch {
+	case affOK && coeff == 0:
+		// Loop-invariant (w.r.t. the vector lanes): scalar load, broadcast.
+		idx, _, err := c.evalIndexScalar(flat)
+		if err != nil {
+			return 0, 0, err
+		}
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: vm.OpLoad, Dst: out, A: idx, Arr: arr, Scalar: true, Carried: carried})
+		return c.b.Broadcast(out), shVector, nil
+
+	case affOK && coeff == float64(int64(coeff)) && abs64(int64(coeff)) <= 4:
+		base, _, err := c.evalIndexScalar(flat)
+		if err != nil {
+			return 0, 0, err
+		}
+		out := c.b.Load(arr, base, int(coeff))
+		c.noteStride(int(coeff))
+		return out, shVector, nil
+
+	default:
+		idx, shI, err := c.evalIndex(flat)
+		if err != nil {
+			return 0, 0, err
+		}
+		idx = c.toVec(idx, shI)
+		out := c.b.Reg()
+		c.b.Emit(vm.Instr{Op: vm.OpGather, Dst: out, A: idx, Arr: arr, Carried: carried})
+		c.noteGather()
+		return out, shVector, nil
+	}
+}
+
+// emitStore compiles an array write (value already evaluated).
+func (c *cg) emitStore(a lang.Access, val int, valVec bool) error {
+	flat := flatIndexExpr(a)
+	arr := c.arrIdx[a.A]
+
+	if c.vecCtx == nil {
+		idx, _, err := c.evalIndex(flat)
+		if err != nil {
+			return err
+		}
+		c.b.Emit(vm.Instr{Op: vm.OpStore, A: val, B: idx, Arr: arr, Scalar: true})
+		return nil
+	}
+
+	coeff, affOK := c.affine(flat)
+	switch {
+	case affOK && coeff == float64(int64(coeff)) && abs64(int64(coeff)) <= 4 && coeff != 0:
+		base, _, err := c.evalIndexScalar(flat)
+		if err != nil {
+			return err
+		}
+		if !valVec {
+			val = c.b.Broadcast(val)
+		}
+		c.b.Store(arr, val, base, int(coeff))
+		c.noteStride(int(coeff))
+		return nil
+	case affOK && coeff == 0 && !valVec:
+		// Uniform store to an invariant location.
+		idx, _, err := c.evalIndexScalar(flat)
+		if err != nil {
+			return err
+		}
+		c.b.Emit(vm.Instr{Op: vm.OpStore, A: val, B: idx, Arr: arr, Scalar: true})
+		return nil
+	default:
+		idx, shI, err := c.evalIndex(flat)
+		if err != nil {
+			return err
+		}
+		idx = c.toVec(idx, shI)
+		if !valVec {
+			val = c.b.Broadcast(val)
+		}
+		c.b.Scatter(arr, val, idx)
+		c.noteGather()
+		return nil
+	}
+}
+
+// evalScalarView evaluates an affine index expression as a scalar: the
+// vectorized induction variable's lane 0 is its base value, and affine
+// combinations of it are computed with scalar ops.
+func (c *cg) evalScalarView(e lang.Expr) (int, shape, error) {
+	saved := c.scalarView
+	c.scalarView = true
+	r, sh, err := c.evalShape(e)
+	c.scalarView = saved
+	_ = sh
+	return r, shScalar, err
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

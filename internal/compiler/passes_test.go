@@ -1,0 +1,271 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"ninjagap/internal/exec"
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// TestLICMHoistsInvariantLoads: a filter-coefficient style invariant load
+// inside a vectorized loop must be loaded once before the loop, not per
+// iteration.
+func TestLICMHoistsInvariantLoads(t *testing.T) {
+	const n = 256
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	c := &lang.Array{Name: "c", Elem: lang.F32, Len: 4, Restrict: true}
+	k := &lang.Kernel{Name: "licm", Arrays: []*lang.Array{x, c}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(x, lang.V("i")),
+				X: lang.MulX(lang.At(x, lang.V("i")), lang.At(c, lang.N(2)))},
+		}},
+	}}
+	res, err := Compile(k, AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrays := map[string]*vm.Array{
+		"x": vm.NewArray("x", 4, n),
+		"c": vm.NewArray("c", 4, 4),
+	}
+	for i := range arrays["x"].Data {
+		arrays["x"].Data[i] = float64(i)
+	}
+	arrays["c"].Data[2] = 3
+	m := machine.WestmereX980()
+	r, err := exec.Run(res.Prog, arrays, m, exec.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range arrays["x"].Data {
+		if arrays["x"].Data[i] != 3*float64(i) {
+			t.Fatalf("x[%d] = %g, want %g", i, arrays["x"].Data[i], 3*float64(i))
+		}
+	}
+	// 64 vector iterations, 1 load + 1 store each, plus ONE hoisted scalar
+	// load: total loads = 65, not 128.
+	loads := r.ClassCounts[machine.OpLoad]
+	if loads > 70 {
+		t.Errorf("loads = %d; invariant load not hoisted (want ~65)", loads)
+	}
+}
+
+// TestFastMathEquivalence: fast-math lowering changes the instruction mix
+// but not (materially) the numbers, and it is faster.
+func TestFastMathEquivalence(t *testing.T) {
+	const n = 512
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	y := &lang.Array{Name: "y", Elem: lang.F32, Len: n, Restrict: true}
+	k := &lang.Kernel{Name: "fm", Arrays: []*lang.Array{x, y}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(y, lang.V("i")),
+				X: lang.DivX(lang.Sqrt(lang.At(x, lang.V("i"))), lang.AddX(lang.At(x, lang.V("i")), lang.N(1)))},
+		}},
+	}}
+	run := func(fast bool) ([]float64, float64) {
+		opt := AutoVecOptions()
+		opt.FastMath = fast
+		res, err := Compile(k, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrays := map[string]*vm.Array{
+			"x": vm.NewArray("x", 4, n), "y": vm.NewArray("y", 4, n),
+		}
+		for i := range arrays["x"].Data {
+			arrays["x"].Data[i] = float64(i) + 0.5
+		}
+		r, err := exec.Run(res.Prog, arrays, machine.WestmereX980(), exec.Options{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arrays["y"].Data, r.Cycles
+	}
+	precise, cp := run(false)
+	fast, cf := run(true)
+	for i := range precise {
+		d := precise[i] - fast[i]
+		if d > 1e-9 || d < -1e-9 {
+			t.Fatalf("fast-math diverged at %d: %g vs %g", i, precise[i], fast[i])
+		}
+	}
+	if cf >= cp {
+		t.Errorf("fast-math (%.0f cyc) not faster than precise (%.0f cyc)", cf, cp)
+	}
+}
+
+// TestUnrollPragmaReducesReductionStall: unrolling a carried reduction
+// shrinks the dependence penalty.
+func TestUnrollPragmaReducesReductionStall(t *testing.T) {
+	const n = 4096
+	build := func(unroll int) *lang.Kernel {
+		x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+		o := &lang.Array{Name: "o", Elem: lang.F32, Len: 1, Restrict: true}
+		return &lang.Kernel{Name: "red", Arrays: []*lang.Array{x, o}, Body: []lang.Stmt{
+			lang.Let{Name: "s", X: lang.N(0)},
+			lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Simd: true, Unroll: unroll,
+				Body: []lang.Stmt{
+					lang.Let{Name: "s", X: lang.AddX(lang.V("s"), lang.At(x, lang.V("i")))},
+				}},
+			lang.Assign{LHS: lang.LAt(o, lang.N(0)), X: lang.V("s")},
+		}}
+	}
+	run := func(unroll int) float64 {
+		res, err := Compile(build(unroll), PragmaOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrays := map[string]*vm.Array{
+			"x": vm.NewArray("x", 4, n), "o": vm.NewArray("o", 4, 1),
+		}
+		r, err := exec.Run(res.Prog, arrays, machine.WestmereX980(), exec.Options{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles
+	}
+	if c8, c2 := run(8), run(2); c8 >= c2 {
+		t.Errorf("unroll 8 (%.0f cyc) not faster than unroll 2 (%.0f cyc)", c8, c2)
+	}
+}
+
+// TestMaskedWhileWithNestedIf: a vectorized while containing a conditional
+// (the volume-rendering pattern) computes the same values as scalar code.
+func TestMaskedWhileWithNestedIf(t *testing.T) {
+	const n = 64
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	mk := func(simd bool) *lang.Kernel {
+		return &lang.Kernel{Name: "collatzish", Arrays: []*lang.Array{x}, Body: []lang.Stmt{
+			lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Simd: simd, Body: []lang.Stmt{
+				lang.Let{Name: "v", X: lang.At(x, lang.V("i"))},
+				lang.Let{Name: "steps", X: lang.N(0)},
+				lang.While{Cond: lang.GtX(lang.V("v"), lang.N(1)), MissProb: 0.1, Body: []lang.Stmt{
+					lang.If{Cond: lang.GtX(lang.V("v"), lang.N(10)), MissProb: 0.4,
+						Then: []lang.Stmt{lang.Let{Name: "v", X: lang.MulX(lang.V("v"), lang.N(0.25))}},
+						Else: []lang.Stmt{lang.Let{Name: "v", X: lang.SubX(lang.V("v"), lang.N(1))}},
+					},
+					lang.Let{Name: "steps", X: lang.AddX(lang.V("steps"), lang.N(1))},
+				}},
+				lang.Assign{LHS: lang.LAt(x, lang.V("i")), X: lang.V("steps")},
+			}},
+		}}
+	}
+	run := func(simd bool, opts Options) []float64 {
+		res, err := Compile(mk(simd), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrays := map[string]*vm.Array{"x": vm.NewArray("x", 4, n)}
+		for i := range arrays["x"].Data {
+			arrays["x"].Data[i] = float64((i*37)%50) + 0.5
+		}
+		if _, err := exec.Run(res.Prog, arrays, machine.WestmereX980(), exec.Options{Threads: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return arrays["x"].Data
+	}
+	scalar := run(false, NaiveOptions())
+	vector := run(true, PragmaOptions())
+	for i := range scalar {
+		if scalar[i] != vector[i] {
+			t.Fatalf("divergent masked while: x[%d] scalar %g vs vector %g", i, scalar[i], vector[i])
+		}
+	}
+}
+
+// TestNegativeStrideLoad: reverse iteration compiles and computes
+// correctly.
+func TestNegativeStrideLoad(t *testing.T) {
+	const n = 64
+	x := &lang.Array{Name: "x", Elem: lang.F32, Len: n, Restrict: true}
+	y := &lang.Array{Name: "y", Elem: lang.F32, Len: n, Restrict: true}
+	// y[i] = x[n-1-i]: affine with coefficient -1.
+	k := &lang.Kernel{Name: "rev", Arrays: []*lang.Array{x, y}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(y, lang.V("i")),
+				X: lang.At(x, lang.SubX(lang.N(n-1), lang.V("i")))},
+		}},
+	}}
+	res, err := Compile(k, AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Vectorized() {
+		t.Fatalf("reverse copy failed to vectorize: %v", res.Report.FailureReasons())
+	}
+	arrays := map[string]*vm.Array{
+		"x": vm.NewArray("x", 4, n), "y": vm.NewArray("y", 4, n),
+	}
+	for i := range arrays["x"].Data {
+		arrays["x"].Data[i] = float64(i)
+	}
+	if _, err := exec.Run(res.Prog, arrays, machine.WestmereX980(), exec.Options{Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if arrays["y"].Data[i] != float64(n-1-i) {
+			t.Fatalf("y[%d] = %g, want %g", i, arrays["y"].Data[i], float64(n-1-i))
+		}
+	}
+}
+
+// TestSoAFieldAddressing: SoA layout places field f of record e at
+// f*Len+e; verify through compiled code against hand-packed data.
+func TestSoAFieldAddressing(t *testing.T) {
+	const n = 16
+	rec := &lang.Array{Name: "r", Elem: lang.F32, Len: n, Fields: 3, SoA: true, Restrict: true}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: n, Restrict: true}
+	k := &lang.Kernel{Name: "soa", Arrays: []*lang.Array{rec, out}, Body: []lang.Stmt{
+		lang.For{Var: "i", Lo: lang.N(0), Hi: lang.N(n), Body: []lang.Stmt{
+			lang.Assign{LHS: lang.LAt(out, lang.V("i")), X: lang.AtF(rec, lang.V("i"), 2)},
+		}},
+	}}
+	res, err := Compile(k, AutoVecOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SoA field-2 plane must be unit stride: no strided or gathered refs.
+	if l := res.Report.Loops[0]; l.StridedRefs+l.GatherRefs != 0 {
+		t.Errorf("SoA plane access not unit-stride: %+v", l)
+	}
+	arrays := map[string]*vm.Array{
+		"r": vm.NewArray("r", 4, n*3), "out": vm.NewArray("out", 4, n),
+	}
+	for e := 0; e < n; e++ {
+		arrays["r"].Data[2*n+e] = float64(100 + e)
+	}
+	if _, err := exec.Run(res.Prog, arrays, machine.WestmereX980(), exec.Options{Threads: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < n; e++ {
+		if arrays["out"].Data[e] != float64(100+e) {
+			t.Fatalf("out[%d] = %g, want %g", e, arrays["out"].Data[e], float64(100+e))
+		}
+	}
+}
+
+// TestVectorizationReportStability: compiling twice produces identical
+// reports (the codegen is deterministic).
+func TestVectorizationReportStability(t *testing.T) {
+	k := saxpyKernel(256, true, true)
+	r1, err := Compile(k, PragmaOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Compile(k, PragmaOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Report.String() != r2.Report.String() {
+		t.Error("nondeterministic vectorization report")
+	}
+	if r1.Prog.CountInstrs() != r2.Prog.CountInstrs() {
+		t.Error("nondeterministic codegen size")
+	}
+	if !strings.Contains(r1.Report.String(), "VECTORIZED") {
+		t.Error("pragma saxpy should vectorize")
+	}
+}

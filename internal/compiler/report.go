@@ -1,0 +1,86 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is the compiler's vectorization report: one entry per loop, in
+// source order, saying what happened and why — the information the paper's
+// methodology (and ICC's -vec-report) exposes to the programmer.
+type Report struct {
+	Kernel string
+	Loops  []*LoopReport
+}
+
+// LoopReport describes one loop's compilation outcome.
+type LoopReport struct {
+	Var          string
+	Depth        int
+	Vectorized   bool
+	Parallelized bool
+	Reason       string // vectorization decision rationale
+	StridedRefs  int    // non-unit strided vector references generated
+	GatherRefs   int    // gathers/scatters generated
+}
+
+// String renders the report as the familiar per-loop diagnostic listing.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vectorization report for %s:\n", r.Kernel)
+	if len(r.Loops) == 0 {
+		sb.WriteString("  (no loops)\n")
+		return sb.String()
+	}
+	for _, l := range r.Loops {
+		status := "SCALAR"
+		if l.Vectorized {
+			status = "VECTORIZED"
+		}
+		par := ""
+		if l.Parallelized {
+			par = " +parallel"
+		}
+		extras := ""
+		if l.StridedRefs > 0 {
+			extras += fmt.Sprintf(" strided=%d", l.StridedRefs)
+		}
+		if l.GatherRefs > 0 {
+			extras += fmt.Sprintf(" gathers=%d", l.GatherRefs)
+		}
+		fmt.Fprintf(&sb, "  %sloop %-4s %-10s%s — %s%s\n",
+			strings.Repeat("  ", l.Depth), l.Var, status, par, l.Reason, extras)
+	}
+	return sb.String()
+}
+
+// Vectorized reports whether any loop vectorized.
+func (r *Report) Vectorized() bool {
+	for _, l := range r.Loops {
+		if l.Vectorized {
+			return true
+		}
+	}
+	return false
+}
+
+// Parallelized reports whether any loop was threaded.
+func (r *Report) Parallelized() bool {
+	for _, l := range r.Loops {
+		if l.Parallelized {
+			return true
+		}
+	}
+	return false
+}
+
+// FailureReasons lists the reasons of loops that did not vectorize.
+func (r *Report) FailureReasons() []string {
+	var out []string
+	for _, l := range r.Loops {
+		if !l.Vectorized {
+			out = append(out, fmt.Sprintf("loop %s: %s", l.Var, l.Reason))
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"fmt"
+
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// tripCount resolves a loop's trip count.
+func (t *threadCtx) tripCount(in *vm.Instr) int64 {
+	if in.CountReg >= 0 {
+		return int64(t.lane(in.CountReg)[0])
+	}
+	return in.Count
+}
+
+// setInduction writes the scalar induction value into every lane of reg so
+// both scalar address math and broadcast-style vector uses see it.
+func (t *threadCtx) setInduction(reg int, v float64) {
+	d := t.lane(reg)
+	for l := 0; l < vm.MaxLanes; l++ {
+		d[l] = v
+	}
+}
+
+// loop runs a (sequential view of a) loop over [lo, lo+n).
+func (t *threadCtx) loop(in *vm.Instr) {
+	n := t.tripCount(in)
+	t.loopRange(in, in.Lo, in.Lo+n)
+}
+
+// loopRange runs the iterations [lo, hi) of a loop instruction; the engine
+// calls it directly with per-thread subranges for parallel loops.
+func (t *threadCtx) loopRange(in *vm.Instr, lo, hi int64) {
+	unroll := in.Unroll
+	if unroll < 1 {
+		unroll = 1
+	}
+	if in.Vec {
+		t.vecLoopRange(in, lo, hi, unroll)
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if t.err != nil {
+			return
+		}
+		t.setInduction(in.Dst, float64(i))
+		if (i-lo)%int64(unroll) == 0 {
+			t.charge(machine.OpIntALU, 1) // induction update
+			t.charge(machine.OpBranch, 1) // back-edge (predicted)
+		}
+		t.exec(in.Body)
+	}
+}
+
+// vecLoopRange runs a vector loop: induction lane l = base + l, stepping by
+// W, with a masked tail.
+func (t *threadCtx) vecLoopRange(in *vm.Instr, lo, hi int64, unroll int) {
+	W := int64(t.e.W)
+	d := t.lane(in.Dst)
+	trip := 0
+	for base := lo; base < hi; base += W {
+		if t.err != nil {
+			return
+		}
+		for l := int64(0); l < int64(vm.MaxLanes); l++ {
+			d[l] = float64(base + l)
+		}
+		if trip%unroll == 0 {
+			t.charge(machine.OpIntALU, 1)
+			t.charge(machine.OpBranch, 1)
+		}
+		trip++
+		if base+W <= hi {
+			t.exec(in.Body)
+			continue
+		}
+		// Tail: mask off lanes at or beyond hi.
+		var m uint32
+		for l := int64(0); l < W && base+l < hi; l++ {
+			m |= 1 << uint(l)
+		}
+		t.pushMask(m & t.mask)
+		t.exec(in.Body)
+		t.popMask()
+	}
+}
+
+// while repeats the body while any active lane of the condition register is
+// non-zero. Divergent lanes are masked off but still occupy the SIMD unit,
+// which is exactly the divergence cost the paper discusses.
+func (t *threadCtx) while(in *vm.Instr) {
+	W := t.e.W
+	for {
+		if t.err != nil {
+			return
+		}
+		cond := t.lane(in.A)
+		var m uint32
+		for l := 0; l < W; l++ {
+			if cond[l] != 0 {
+				m |= 1 << uint(l)
+			}
+		}
+		m &= t.mask
+		if m == 0 {
+			return
+		}
+		t.whileIter++
+		if t.whileIter > maxWhileIters {
+			t.fail(fmt.Errorf("exec: prog %s: while loop exceeded %d iterations", t.e.prog.Name, uint64(maxWhileIters)))
+			return
+		}
+		t.charge(machine.OpBranch, 1)
+		if in.MissProb > 0 {
+			t.cost.stall += in.MissProb * t.e.m.BranchMissPenalty
+		}
+		t.pushMask(m)
+		t.exec(in.Body)
+		t.popMask()
+	}
+}
+
+// branch executes a scalar if/else on lane 0 of the condition.
+func (t *threadCtx) branch(in *vm.Instr) {
+	t.charge(machine.OpBranch, 1)
+	if in.MissProb > 0 {
+		t.cost.stall += in.MissProb * t.e.m.BranchMissPenalty
+	}
+	if t.lane(in.A)[0] != 0 {
+		t.exec(in.Body)
+	} else {
+		t.exec(in.Else)
+	}
+}
+
+// ifMask executes the body under the refined mask; if no lane is active the
+// body is skipped entirely (the "if none, jump over" idiom of real masked
+// SIMD code).
+func (t *threadCtx) ifMask(in *vm.Instr) {
+	W := t.e.W
+	cond := t.lane(in.A)
+	var m uint32
+	for l := 0; l < W; l++ {
+		if cond[l] != 0 {
+			m |= 1 << uint(l)
+		}
+	}
+	m &= t.mask
+	t.charge(machine.OpBranch, 1)
+	if m == 0 {
+		return
+	}
+	t.pushMask(m)
+	t.exec(in.Body)
+	t.popMask()
+}

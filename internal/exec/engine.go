@@ -1,0 +1,320 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ninjagap/internal/cache"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// barrierCycles is the fork-join overhead charged to every parallel-loop
+// segment (thread wakeup plus barrier), preventing unrealistic scaling of
+// tiny loops.
+const barrierCycles = 3000
+
+type engine struct {
+	prog      *vm.Prog
+	m         *machine.Machine
+	arrays    []*vm.Array
+	opt       Options
+	W         int
+	lineBytes int
+	threads   []*threadCtx
+	coresUsed int
+	res       Result
+}
+
+// Run executes prog on machine m with the named arrays bound. It returns
+// the functional result in the arrays (mutated in place) and the simulated
+// performance result.
+func Run(prog *vm.Prog, arrays map[string]*vm.Array, m *machine.Machine, opt Options) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{prog: prog, m: m, opt: opt, lineBytes: m.Caches[0].LineBytes}
+	eb := prog.ElemBytes
+	if eb == 0 {
+		eb = 4
+	}
+	e.W = m.Lanes(eb)
+
+	// Bind arrays in program order and lay them out in a sparse virtual
+	// address space so distinct arrays never share cache lines.
+	base := uint64(1 << 20)
+	for _, ref := range prog.Arrays {
+		a, ok := arrays[ref.Name]
+		if !ok {
+			return nil, fmt.Errorf("exec: prog %s: array %q not bound", prog.Name, ref.Name)
+		}
+		if a.ElemBytes == 0 {
+			a.ElemBytes = ref.ElemBytes
+		}
+		a.Base = base
+		sz := uint64(len(a.Data)*a.ElemBytes) + 4096
+		base += (sz + 4095) / 4096 * 4096
+		e.arrays = append(e.arrays, a)
+	}
+
+	nt := opt.Threads
+	if nt <= 0 {
+		nt = m.HWThreads()
+	}
+	e.coresUsed = nt
+	if e.coresUsed > m.Cores {
+		e.coresUsed = m.Cores
+	}
+	pf := m.Feat.HWPrefetch && !opt.DisablePrefetch
+	for t := 0; t < nt; t++ {
+		e.threads = append(e.threads, e.newThread(t, pf))
+	}
+	e.res.Threads = nt
+
+	if err := e.runTop(); err != nil {
+		return nil, err
+	}
+
+	e.finish()
+	r := e.res
+	return &r, nil
+}
+
+func (e *engine) newThread(id int, prefetch bool) *threadCtx {
+	t := &threadCtx{
+		e:    e,
+		id:   id,
+		regs: make([]float64, e.prog.NumRegs*vm.MaxLanes),
+		hier: cache.New(e.m, cache.Config{ShareFactor: e.coresUsed, Prefetch: prefetch}),
+	}
+	t.mask = t.fullMask()
+	return t
+}
+
+// runTop walks the top-level body: sequential stretches execute on thread
+// 0; each parallel loop is forked across all threads. Every stretch and
+// every parallel loop is a "segment" whose time is the max of its core
+// time and its bandwidth time.
+func (e *engine) runTop() error {
+	main := e.threads[0]
+	for i := range e.prog.Body {
+		in := &e.prog.Body[i]
+		if in.Op != vm.OpParLoop || len(e.threads) == 1 {
+			main.instr(in)
+			if main.err != nil {
+				return main.err
+			}
+			continue
+		}
+		// Close the current sequential segment before forking.
+		e.flushSegment([]*threadCtx{main}, false)
+		if err := e.parLoop(in); err != nil {
+			return err
+		}
+	}
+	e.flushSegment([]*threadCtx{main}, false)
+	return nil
+}
+
+// parLoop forks one parallel loop across all threads and joins it as a
+// segment.
+func (e *engine) parLoop(in *vm.Instr) error {
+	main := e.threads[0]
+	n := main.tripCount(in)
+	T := int64(len(e.threads))
+
+	// Seed every worker with the main thread's live register state.
+	for _, t := range e.threads[1:] {
+		copy(t.regs, main.regs)
+	}
+	init := make([]float64, len(in.ReduceRegs)*vm.MaxLanes)
+	for ri, r := range in.ReduceRegs {
+		copy(init[ri*vm.MaxLanes:(ri+1)*vm.MaxLanes], main.lane(r))
+	}
+
+	var wg sync.WaitGroup
+	for ti := int64(0); ti < T; ti++ {
+		t := e.threads[ti]
+		wg.Add(1)
+		go func(ti int64, t *threadCtx) {
+			defer wg.Done()
+			if in.Chunk > 0 {
+				// Round-robin chunks: an idealized dynamic schedule that
+				// balances irregular iteration costs.
+				ck := int64(in.Chunk)
+				for c := ti * ck; c < n; c += T * ck {
+					hi := c + ck
+					if hi > n {
+						hi = n
+					}
+					t.loopRange(in, in.Lo+c, in.Lo+hi)
+					if t.err != nil {
+						return
+					}
+				}
+				return
+			}
+			per := (n + T - 1) / T
+			lo := ti * per
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				return
+			}
+			t.loopRange(in, in.Lo+lo, in.Lo+hi)
+		}(ti, t)
+	}
+	wg.Wait()
+	for _, t := range e.threads {
+		if t.err != nil {
+			return t.err
+		}
+	}
+
+	// Cross-thread reduction combine (deterministic thread order).
+	for ri, r := range in.ReduceRegs {
+		acc := main.lane(r)
+		iv := init[ri*vm.MaxLanes : (ri+1)*vm.MaxLanes]
+		for l := 0; l < vm.MaxLanes; l++ {
+			switch in.ReduceOp {
+			case vm.OpAdd:
+				sum := iv[l]
+				for _, t := range e.threads {
+					sum += t.lane(r)[l] - iv[l]
+				}
+				acc[l] = sum
+			case vm.OpMin:
+				v := iv[l]
+				for _, t := range e.threads {
+					v = math.Min(v, t.lane(r)[l])
+				}
+				acc[l] = v
+			case vm.OpMax:
+				v := iv[l]
+				for _, t := range e.threads {
+					v = math.Max(v, t.lane(r)[l])
+				}
+				acc[l] = v
+			}
+		}
+	}
+
+	e.flushSegment(e.threads, true)
+	return nil
+}
+
+// flushSegment converts the threads' accumulated segment costs into elapsed
+// cycles, applies the SMT-overlap and bandwidth models, resets the
+// accumulators, and folds statistics into the result.
+func (e *engine) flushSegment(threads []*threadCtx, parallel bool) {
+	// Per-core grouping: thread t runs on core t % coresUsed.
+	type coreAgg struct {
+		compute float64
+		stall   float64
+		k       int
+	}
+	cores := make(map[int]*coreAgg)
+	var segBytes uint64
+	empty := true
+	for _, t := range threads {
+		c := t.cost.computeCycles(e.m.IssueWidth)
+		if c > 0 || t.cost.stall > 0 {
+			empty = false
+		}
+		ca := cores[t.id%e.coresUsed]
+		if ca == nil {
+			ca = &coreAgg{}
+			cores[t.id%e.coresUsed] = ca
+		}
+		ca.compute += c
+		ca.stall += t.cost.stall
+		ca.k++
+		segBytes += t.hier.DRAMBytes() - t.lastDRAM
+		t.lastDRAM = t.hier.DRAMBytes()
+		t.cost.addInto(&e.res)
+	}
+	if empty && segBytes == 0 {
+		for _, t := range threads {
+			t.cost.reset()
+		}
+		return
+	}
+
+	// SMT model: a core's threads share issue ports; stalls overlap with
+	// the sibling threads' compute. T_core = max(C, (C+S)/k).
+	var coreMax, critC float64
+	for _, ca := range cores {
+		tc := ca.compute
+		if alt := (ca.compute + ca.stall) / float64(ca.k); alt > tc {
+			tc = alt
+		}
+		if tc > coreMax {
+			coreMax = tc
+			critC = ca.compute
+		}
+	}
+	if parallel {
+		coreMax += barrierCycles
+	}
+
+	// Bandwidth roofline: the segment cannot finish faster than its DRAM
+	// traffic at peak bandwidth.
+	bytesPerCycle := e.m.Mem.BandwidthGBps / e.m.FreqGHz
+	bwCycles := float64(segBytes) / bytesPerCycle
+	segTime := coreMax
+	if bwCycles > segTime {
+		segTime = bwCycles
+	}
+
+	e.res.Cycles += segTime
+	e.res.ComputeCycles += critC
+	if coreMax > critC {
+		e.res.StallCycles += coreMax - critC
+	}
+	if segTime > coreMax {
+		e.res.BWExtraCycles += segTime - coreMax
+	}
+	e.res.DRAMBytes += segBytes
+
+	for _, t := range threads {
+		t.cost.reset()
+	}
+}
+
+// finish converts cycles to seconds and classifies the binding constraint.
+func (e *engine) finish() {
+	r := &e.res
+	r.Seconds = r.Cycles / (e.m.FreqGHz * 1e9)
+	if r.Seconds > 0 {
+		r.GFlops = float64(r.Flops) / r.Seconds / 1e9
+	}
+	switch {
+	case r.BWExtraCycles > 0.3*r.Cycles:
+		r.BoundBy = "bandwidth"
+	case r.StallCycles > 0.3*r.Cycles:
+		r.BoundBy = "latency"
+	default:
+		r.BoundBy = "compute"
+	}
+	// Aggregate cache stats across threads.
+	if len(e.threads) > 0 {
+		nl := len(e.threads[0].hier.Stats())
+		r.CacheStats = make([]cache.LevelStats, nl)
+		for _, t := range e.threads {
+			for i, s := range t.hier.Stats() {
+				r.CacheStats[i].Accesses += s.Accesses
+				r.CacheStats[i].Hits += s.Hits
+				r.CacheStats[i].Misses += s.Misses
+				r.CacheStats[i].PrefetchHits += s.PrefetchHits
+				r.CacheStats[i].Prefetches += s.Prefetches
+				r.CacheStats[i].Writebacks += s.Writebacks
+			}
+		}
+	}
+}

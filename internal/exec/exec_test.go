@@ -1,0 +1,490 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// run1 executes a program on a single thread of a Westmere and fails the
+// test on error.
+func run1(t *testing.T, p *vm.Prog, arrays map[string]*vm.Array) *Result {
+	t.Helper()
+	r, err := Run(p, arrays, machine.WestmereX980(), Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func almostEq(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	s := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol || d <= tol*s
+}
+
+func newArrays(n int, names ...string) map[string]*vm.Array {
+	out := make(map[string]*vm.Array, len(names))
+	for _, nm := range names {
+		out[nm] = vm.NewArray(nm, 4, n)
+	}
+	return out
+}
+
+func TestVectorAddStore(t *testing.T) {
+	const n = 103 // deliberately not a multiple of the SIMD width
+	b := vm.NewBuilder("vadd")
+	xa := b.Array("x", 4)
+	ya := b.Array("y", 4)
+	za := b.Array("z", 4)
+	i := b.VecLoop(0, n)
+	x := b.Load(xa, i, 1)
+	y := b.Load(ya, i, 1)
+	b.Store(za, b.Op2(vm.OpAdd, x, y), i, 1)
+	b.End()
+	p := b.MustBuild()
+
+	arrays := newArrays(n, "x", "y", "z")
+	for i := 0; i < n; i++ {
+		arrays["x"].Data[i] = float64(i)
+		arrays["y"].Data[i] = float64(2 * i)
+	}
+	run1(t, p, arrays)
+	for i := 0; i < n; i++ {
+		if arrays["z"].Data[i] != float64(3*i) {
+			t.Fatalf("z[%d] = %g, want %g", i, arrays["z"].Data[i], float64(3*i))
+		}
+	}
+}
+
+func TestTailMaskDoesNotOverwrite(t *testing.T) {
+	// A vector loop over 5 elements must not touch element 5 and beyond.
+	const n = 8
+	b := vm.NewBuilder("tail")
+	xa := b.Array("x", 4)
+	i := b.VecLoop(0, 5)
+	one := b.Const(1)
+	b.Store(xa, one, i, 1)
+	b.End()
+	p := b.MustBuild()
+	arrays := newArrays(n, "x")
+	for i := range arrays["x"].Data {
+		arrays["x"].Data[i] = -7
+	}
+	run1(t, p, arrays)
+	for i := 0; i < 5; i++ {
+		if arrays["x"].Data[i] != 1 {
+			t.Errorf("x[%d] = %g, want 1", i, arrays["x"].Data[i])
+		}
+	}
+	for i := 5; i < n; i++ {
+		if arrays["x"].Data[i] != -7 {
+			t.Errorf("x[%d] = %g, want untouched -7", i, arrays["x"].Data[i])
+		}
+	}
+}
+
+func TestUnaryAndBinaryOps(t *testing.T) {
+	cases := []struct {
+		op   vm.Op
+		a, b float64
+		want float64
+	}{
+		{vm.OpAdd, 2, 3, 5},
+		{vm.OpSub, 2, 3, -1},
+		{vm.OpMul, 2, 3, 6},
+		{vm.OpDiv, 3, 2, 1.5},
+		{vm.OpMin, 2, 3, 2},
+		{vm.OpMax, 2, 3, 3},
+		{vm.OpCmpLT, 2, 3, 1},
+		{vm.OpCmpGE, 2, 3, 0},
+		{vm.OpCmpEQ, 3, 3, 1},
+		{vm.OpCmpNE, 3, 3, 0},
+		{vm.OpCmpLE, 3, 3, 1},
+		{vm.OpCmpGT, 4, 3, 1},
+		{vm.OpAndM, 1, 0, 0},
+		{vm.OpOrM, 1, 0, 1},
+	}
+	for _, tc := range cases {
+		b := vm.NewBuilder("binop")
+		out := b.Array("out", 4)
+		r := b.Op2(tc.op, b.Const(tc.a), b.Const(tc.b))
+		b.Store(out, r, b.Const(0), 1)
+		p := b.MustBuild()
+		arrays := newArrays(8, "out")
+		run1(t, p, arrays)
+		if got := arrays["out"].Data[0]; got != tc.want {
+			t.Errorf("%s(%g,%g) = %g, want %g", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+	unary := []struct {
+		op      vm.Op
+		a, want float64
+	}{
+		{vm.OpNeg, 2, -2},
+		{vm.OpAbs, -2, 2},
+		{vm.OpSqrt, 9, 3},
+		{vm.OpRsqrt, 4, 0.5},
+		{vm.OpRcp, 4, 0.25},
+		{vm.OpExp, 0, 1},
+		{vm.OpLog, 1, 0},
+		{vm.OpSin, 0, 0},
+		{vm.OpCos, 0, 1},
+		{vm.OpFloor, 2.7, 2},
+		{vm.OpNotM, 0, 1},
+		{vm.OpNotM, 3, 0},
+	}
+	for _, tc := range unary {
+		b := vm.NewBuilder("unop")
+		out := b.Array("out", 4)
+		r := b.Op1(tc.op, b.Const(tc.a))
+		b.Store(out, r, b.Const(0), 1)
+		p := b.MustBuild()
+		arrays := newArrays(8, "out")
+		run1(t, p, arrays)
+		if got := arrays["out"].Data[0]; !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("%s(%g) = %g, want %g", tc.op, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestFMABlendShuffleIota(t *testing.T) {
+	b := vm.NewBuilder("misc")
+	out := b.Array("out", 4)
+	// fma: 2*3+4 = 10
+	f := b.FMA(b.Const(2), b.Const(3), b.Const(4))
+	b.Store(out, f, b.Const(0), 1)
+	// blend by iota-derived mask: lanes 0,1 take 'then' when iota<2
+	i := b.Iota(0)
+	m := b.Op2(vm.OpCmpLT, i, b.Const(2))
+	bl := b.Blend(b.Const(100), b.Const(200), m)
+	b.Store(out, bl, b.Const(4), 1)
+	// shuffle reverse of iota
+	sh := b.Shuffle(i, []int{3, 2, 1, 0})
+	b.Store(out, sh, b.Const(8), 1)
+	p := b.MustBuild()
+	arrays := newArrays(16, "out")
+	run1(t, p, arrays)
+	d := arrays["out"].Data
+	if d[0] != 10 {
+		t.Errorf("fma = %g, want 10", d[0])
+	}
+	if d[4] != 100 || d[5] != 100 || d[6] != 200 || d[7] != 200 {
+		t.Errorf("blend lanes = %v, want [100 100 200 200]", d[4:8])
+	}
+	if d[8] != 3 || d[9] != 2 || d[10] != 1 || d[11] != 0 {
+		t.Errorf("shuffle lanes = %v, want [3 2 1 0]", d[8:12])
+	}
+}
+
+func TestHorizontalReductions(t *testing.T) {
+	b := vm.NewBuilder("hred")
+	out := b.Array("out", 4)
+	i := b.Iota(1) // lanes 1,2,3,4 on Westmere (W=4)
+	b.Store(out, b.Op1(vm.OpHAdd, i), b.Const(0), 0)
+	b.Store(out, b.Op1(vm.OpHMin, i), b.Const(1), 0)
+	b.Store(out, b.Op1(vm.OpHMax, i), b.Const(2), 0)
+	p := b.MustBuild()
+	arrays := newArrays(4, "out")
+	run1(t, p, arrays)
+	d := arrays["out"].Data
+	if d[0] != 10 || d[1] != 1 || d[2] != 4 {
+		t.Errorf("horizontal results = %v, want [10 1 4 _]", d)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 32
+	b := vm.NewBuilder("gs")
+	src := b.Array("src", 4)
+	dst := b.Array("dst", 4)
+	i := b.VecLoop(0, n)
+	// reverse permutation: idx = n-1-i
+	idx := b.Op2(vm.OpSub, b.Const(n-1), i)
+	v := b.Gather(src, idx)
+	b.Scatter(dst, v, i)
+	b.End()
+	p := b.MustBuild()
+	arrays := newArrays(n, "src", "dst")
+	for i := 0; i < n; i++ {
+		arrays["src"].Data[i] = float64(i * i)
+	}
+	run1(t, p, arrays)
+	for i := 0; i < n; i++ {
+		want := float64((n - 1 - i) * (n - 1 - i))
+		if arrays["dst"].Data[i] != want {
+			t.Fatalf("dst[%d] = %g, want %g", i, arrays["dst"].Data[i], want)
+		}
+	}
+}
+
+func TestStridedLoad(t *testing.T) {
+	// AoS with 2 fields: load field 0 of 4 consecutive records.
+	const recs = 8
+	b := vm.NewBuilder("strided")
+	aos := b.Array("aos", 4)
+	out := b.Array("out", 4)
+	i := b.VecLoop(0, recs)
+	base := b.Op2(vm.OpMul, i, b.Const(2)) // record i starts at 2i
+	v := b.Load(aos, base, 2)
+	b.Store(out, v, i, 1)
+	b.End()
+	p := b.MustBuild()
+	arrays := map[string]*vm.Array{
+		"aos": vm.NewArray("aos", 4, recs*2),
+		"out": vm.NewArray("out", 4, recs),
+	}
+	for r := 0; r < recs; r++ {
+		arrays["aos"].Data[2*r] = float64(10 + r)
+		arrays["aos"].Data[2*r+1] = -1
+	}
+	run1(t, p, arrays)
+	for r := 0; r < recs; r++ {
+		if arrays["out"].Data[r] != float64(10+r) {
+			t.Fatalf("out[%d] = %g, want %g", r, arrays["out"].Data[r], float64(10+r))
+		}
+	}
+}
+
+func TestScalarLoop(t *testing.T) {
+	const n = 17
+	b := vm.NewBuilder("scalar")
+	xa := b.Array("x", 4)
+	acc := b.Const(0)
+	i := b.Loop(0, n)
+	v := b.LoadScalar(xa, i)
+	b.Emit(vm.Instr{Op: vm.OpAdd, Dst: acc, A: acc, B: v, Scalar: true, Carried: true})
+	b.End()
+	out := b.Array("out", 4)
+	b.StoreScalar(out, acc, b.Const(0))
+	p := b.MustBuild()
+	arrays := newArrays(n, "x")
+	arrays["out"] = vm.NewArray("out", 4, 1)
+	want := 0.0
+	for i := 0; i < n; i++ {
+		arrays["x"].Data[i] = float64(i + 1)
+		want += float64(i + 1)
+	}
+	run1(t, p, arrays)
+	if got := arrays["out"].Data[0]; got != want {
+		t.Errorf("scalar sum = %g, want %g", got, want)
+	}
+}
+
+func TestWhileLoopCountdown(t *testing.T) {
+	// Per-lane countdown from iota: lane l iterates l+1 times, so lane l
+	// accumulates l+1 increments under the divergence mask.
+	p2 := buildWhileProg()
+	arrays := newArrays(8, "out")
+	run1(t, p2, arrays)
+	d := arrays["out"].Data
+	// Lane l should have accumulated l+1 increments.
+	for l := 0; l < 4; l++ {
+		if d[l] != float64(l+1) {
+			t.Errorf("lane %d acc = %g, want %d", l, d[l], l+1)
+		}
+	}
+}
+
+// buildWhileProg builds: cnt=iota(1); acc=0; one=1;
+// while(cnt>0){acc+=1 (masked via store later); cnt-=1; cond=cnt>0? }
+// then store acc to out[0..3]. Masked semantics: the acc add happens for
+// all lanes but the store of progress is what we check; instead we
+// accumulate via masked scatter-free approach: store acc each iteration
+// under mask.
+func buildWhileProg() *vm.Prog {
+	b := vm.NewBuilder("while2")
+	out := b.Array("out", 4)
+	cnt := b.Reg()
+	b.Emit(vm.Instr{Op: vm.OpIota, Dst: cnt, Imm: 1})
+	acc := b.Reg()
+	b.Emit(vm.Instr{Op: vm.OpConst, Dst: acc, Imm: 0})
+	one := b.Const(1)
+	zero := b.Const(0)
+	cond := b.Reg()
+	b.Emit(vm.Instr{Op: vm.OpCmpGT, Dst: cond, A: cnt, B: zero})
+	b.While(cond, 0)
+	{
+		// acc += 1 for active lanes only: blend(acc+1, acc, activeCond)
+		inc := b.Op2(vm.OpAdd, acc, one)
+		b.Emit(vm.Instr{Op: vm.OpBlend, Dst: acc, A: inc, B: acc, C: cond})
+		b.Emit(vm.Instr{Op: vm.OpSub, Dst: cnt, A: cnt, B: one})
+		b.Emit(vm.Instr{Op: vm.OpCmpGT, Dst: cond, A: cnt, B: zero})
+	}
+	b.End()
+	idx := b.Iota(0)
+	b.Scatter(out, acc, idx)
+	return b.MustBuild()
+}
+
+func TestScalarIfElse(t *testing.T) {
+	b := vm.NewBuilder("ifelse")
+	out := b.Array("out", 4)
+	i := b.Loop(0, 10)
+	five := b.Const(5)
+	c := b.Scalar2(vm.OpCmpLT, i, five)
+	r := b.Reg()
+	b.If(c, 0.5)
+	b.Emit(vm.Instr{Op: vm.OpConst, Dst: r, Imm: 1})
+	b.Else()
+	b.Emit(vm.Instr{Op: vm.OpConst, Dst: r, Imm: 2})
+	b.End()
+	b.StoreScalar(out, r, i)
+	b.End()
+	p := b.MustBuild()
+	arrays := newArrays(10, "out")
+	run1(t, p, arrays)
+	for i := 0; i < 10; i++ {
+		want := 1.0
+		if i >= 5 {
+			want = 2.0
+		}
+		if arrays["out"].Data[i] != want {
+			t.Errorf("out[%d] = %g, want %g", i, arrays["out"].Data[i], want)
+		}
+	}
+}
+
+func TestIfMaskSkipsAndMasks(t *testing.T) {
+	b := vm.NewBuilder("ifmask")
+	out := b.Array("out", 4)
+	i := b.Iota(0)
+	m := b.Op2(vm.OpCmpGE, i, b.Const(2)) // lanes 2,3
+	b.IfMask(m)
+	b.Scatter(out, b.Const(9), i)
+	b.End()
+	// All-false mask region: must be skipped entirely.
+	mz := b.Op2(vm.OpCmpGE, i, b.Const(99))
+	b.IfMask(mz)
+	b.Scatter(out, b.Const(777), i)
+	b.End()
+	p := b.MustBuild()
+	arrays := newArrays(4, "out")
+	run1(t, p, arrays)
+	d := arrays["out"].Data
+	if d[0] != 0 || d[1] != 0 || d[2] != 9 || d[3] != 9 {
+		t.Errorf("masked scatter wrote %v, want [0 0 9 9]", d)
+	}
+}
+
+func TestParallelLoopReduction(t *testing.T) {
+	const n = 10000
+	b := vm.NewBuilder("parsum")
+	xa := b.Array("x", 4)
+	acc := b.Const(0)
+	i := b.ParVecLoop(0, n)
+	b.Reduce(vm.OpAdd, acc)
+	v := b.Load(xa, i, 1)
+	b.Emit(vm.Instr{Op: vm.OpAdd, Dst: acc, A: acc, B: v})
+	b.End()
+	h := b.Op1(vm.OpHAdd, acc)
+	out := b.Array("out", 4)
+	b.StoreScalar(out, h, b.Const(0))
+	p := b.MustBuild()
+
+	arrays := newArrays(n, "x")
+	arrays["out"] = vm.NewArray("out", 4, 1)
+	want := 0.0
+	for i := 0; i < n; i++ {
+		arrays["x"].Data[i] = float64(i % 7)
+		want += float64(i % 7)
+	}
+	r, err := Run(p, arrays, machine.WestmereX980(), Options{Threads: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arrays["out"].Data[0]; !almostEq(got, want, 1e-9) {
+		t.Errorf("parallel sum = %g, want %g", got, want)
+	}
+	if r.Threads != 6 {
+		t.Errorf("threads = %d, want 6", r.Threads)
+	}
+}
+
+func TestParallelMinMaxReduction(t *testing.T) {
+	const n = 4096
+	build := func(op vm.Op, init float64) *vm.Prog {
+		b := vm.NewBuilder("parminmax")
+		xa := b.Array("x", 4)
+		acc := b.Const(init)
+		i := b.ParVecLoop(0, n)
+		b.Reduce(op, acc)
+		v := b.Load(xa, i, 1)
+		b.Emit(vm.Instr{Op: op, Dst: acc, A: acc, B: v})
+		b.End()
+		var h int
+		if op == vm.OpMin {
+			h = b.Op1(vm.OpHMin, acc)
+		} else {
+			h = b.Op1(vm.OpHMax, acc)
+		}
+		out := b.Array("out", 4)
+		b.StoreScalar(out, h, b.Const(0))
+		return b.MustBuild()
+	}
+	arrays := newArrays(n, "x")
+	arrays["out"] = vm.NewArray("out", 4, 1)
+	for i := 0; i < n; i++ {
+		arrays["x"].Data[i] = float64((i*37)%1000) - 500
+	}
+	if _, err := Run(build(vm.OpMin, math.Inf(1)), arrays, machine.WestmereX980(), Options{Threads: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := arrays["out"].Data[0]; got != -500 {
+		t.Errorf("parallel min = %g, want -500", got)
+	}
+	if _, err := Run(build(vm.OpMax, math.Inf(-1)), arrays, machine.WestmereX980(), Options{Threads: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := arrays["out"].Data[0]; got != 499 {
+		t.Errorf("parallel max = %g, want 499", got)
+	}
+}
+
+func TestBoundsErrorReported(t *testing.T) {
+	b := vm.NewBuilder("oob")
+	xa := b.Array("x", 4)
+	i := b.VecLoop(0, 100)
+	v := b.Load(xa, i, 1)
+	b.Store(xa, v, i, 1)
+	b.End()
+	p := b.MustBuild()
+	arrays := newArrays(10, "x") // too small
+	if _, err := Run(p, arrays, machine.WestmereX980(), Options{Threads: 1}); err == nil {
+		t.Fatal("out-of-bounds access not reported")
+	}
+}
+
+func TestMissingArrayReported(t *testing.T) {
+	b := vm.NewBuilder("missing")
+	xa := b.Array("x", 4)
+	b.Store(xa, b.Const(1), b.Const(0), 1)
+	p := b.MustBuild()
+	if _, err := Run(p, map[string]*vm.Array{}, machine.WestmereX980(), Options{}); err == nil {
+		t.Fatal("missing array binding not reported")
+	}
+}
+
+func TestDynamicTripCount(t *testing.T) {
+	b := vm.NewBuilder("dyn")
+	out := b.Array("out", 4)
+	nreg := b.Const(7)
+	i := b.LoopDyn(0, nreg)
+	b.StoreScalar(out, b.Const(1), i)
+	b.End()
+	p := b.MustBuild()
+	arrays := newArrays(16, "out")
+	run1(t, p, arrays)
+	sum := 0.0
+	for _, v := range arrays["out"].Data {
+		sum += v
+	}
+	if sum != 7 {
+		t.Errorf("dynamic loop wrote %g elements, want 7", sum)
+	}
+}

@@ -1,0 +1,437 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"ninjagap/internal/cache"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// threadCtx is one software thread's execution state: a private register
+// file, the predication mask stack, a private cache hierarchy, and the
+// segment cost accumulator.
+type threadCtx struct {
+	e    *engine
+	id   int
+	regs []float64 // NumRegs x MaxLanes, flat
+	mask uint32    // active-lane bitmask, bits [0,W)
+	// maskStack holds enclosing masks for predicated regions.
+	maskStack []uint32
+	cost      costAcc
+	hier      *cache.Hierarchy
+	lastDRAM  uint64
+	err       error
+	whileIter uint64 // runaway-loop guard
+}
+
+const maxWhileIters = 1 << 32
+
+func (t *threadCtx) fail(err error) {
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+func (t *threadCtx) lane(r int) []float64 {
+	return t.regs[r*vm.MaxLanes : r*vm.MaxLanes+vm.MaxLanes]
+}
+
+func (t *threadCtx) fullMask() uint32 { return (1 << uint(t.e.W)) - 1 }
+
+func (t *threadCtx) pushMask(m uint32) {
+	t.maskStack = append(t.maskStack, t.mask)
+	t.mask = m
+}
+
+func (t *threadCtx) popMask() {
+	t.mask = t.maskStack[len(t.maskStack)-1]
+	t.maskStack = t.maskStack[:len(t.maskStack)-1]
+}
+
+func (t *threadCtx) active() int { return bits.OnesCount32(t.mask) }
+
+// charge accounts one dynamic instruction of class cl operating on `lanes`
+// SIMD lanes.
+func (t *threadCtx) charge(cl machine.OpClass, lanes int) {
+	c := t.e.m.Cost(cl)
+	t.cost.port[c.Port] += c.Occupancy(lanes)
+	t.cost.instrs++
+	t.cost.dyn++
+	t.cost.classes[cl]++
+}
+
+// chargeCarried adds the serialization penalty of a loop-carried result:
+// the next iteration waits for the result latency rather than the
+// pipelined throughput. Unrolling with multiple accumulators divides the
+// penalty; the out-of-order window overlaps part of the remainder with
+// independent work (the 0.6 factor, calibrated against chain-bound
+// scalar reductions on the modeled parts).
+func (t *threadCtx) chargeCarried(cl machine.OpClass, lanes, unroll int) {
+	const oooOverlap = 0.6
+	c := t.e.m.Cost(cl)
+	extra := c.Latency - c.Occupancy(lanes)
+	if extra > 0 {
+		if unroll > 1 {
+			extra /= float64(unroll)
+		}
+		t.cost.stall += extra * oooOverlap
+	}
+}
+
+// exec runs a body; it stops early if an error was recorded.
+func (t *threadCtx) exec(body []vm.Instr) {
+	for i := range body {
+		if t.err != nil {
+			return
+		}
+		t.instr(&body[i])
+	}
+}
+
+func (t *threadCtx) instr(in *vm.Instr) {
+	W := t.e.W
+	if in.Scalar {
+		W = 1
+	}
+	switch in.Op {
+	case vm.OpNop:
+
+	case vm.OpAdd, vm.OpSub, vm.OpMin, vm.OpMax:
+		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
+		switch in.Op {
+		case vm.OpAdd:
+			for l := 0; l < W; l++ {
+				d[l] = a[l] + b[l]
+			}
+		case vm.OpSub:
+			for l := 0; l < W; l++ {
+				d[l] = a[l] - b[l]
+			}
+		case vm.OpMin:
+			for l := 0; l < W; l++ {
+				d[l] = math.Min(a[l], b[l])
+			}
+		case vm.OpMax:
+			for l := 0; l < W; l++ {
+				d[l] = math.Max(a[l], b[l])
+			}
+		}
+		if in.Addr {
+			t.charge(machine.OpIntALU, W)
+		} else {
+			t.charge(machine.OpFPAdd, W)
+			t.cost.flops += uint64(t.activeFor(W))
+			if in.Carried {
+				t.chargeCarried(machine.OpFPAdd, W, in.Unroll)
+			}
+		}
+
+	case vm.OpMul:
+		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			d[l] = a[l] * b[l]
+		}
+		if in.Addr {
+			t.charge(machine.OpIntALU, W)
+		} else {
+			t.charge(machine.OpFPMul, W)
+			t.cost.flops += uint64(t.activeFor(W))
+			if in.Carried {
+				t.chargeCarried(machine.OpFPMul, W, in.Unroll)
+			}
+		}
+
+	case vm.OpDiv:
+		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			d[l] = a[l] / b[l]
+		}
+		t.charge(machine.OpFPDiv, W)
+		t.cost.flops += uint64(t.activeFor(W))
+
+	case vm.OpFMA:
+		a, b, c, d := t.lane(in.A), t.lane(in.B), t.lane(in.C), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			d[l] = a[l]*b[l] + c[l]
+		}
+		if t.e.m.Feat.FMA {
+			t.charge(machine.OpFPFMA, W)
+			if in.Carried {
+				t.chargeCarried(machine.OpFPFMA, W, in.Unroll)
+			}
+		} else {
+			// No FMA hardware: costs a multiply plus a dependent add.
+			t.charge(machine.OpFPMul, W)
+			t.charge(machine.OpFPAdd, W)
+			if in.Carried {
+				t.chargeCarried(machine.OpFPAdd, W, in.Unroll)
+			}
+		}
+		t.cost.flops += 2 * uint64(t.activeFor(W))
+
+	case vm.OpNeg, vm.OpAbs, vm.OpFloor:
+		a, d := t.lane(in.A), t.lane(in.Dst)
+		switch in.Op {
+		case vm.OpNeg:
+			for l := 0; l < W; l++ {
+				d[l] = -a[l]
+			}
+		case vm.OpAbs:
+			for l := 0; l < W; l++ {
+				d[l] = math.Abs(a[l])
+			}
+		case vm.OpFloor:
+			for l := 0; l < W; l++ {
+				d[l] = math.Floor(a[l])
+			}
+		}
+		t.charge(machine.OpFPAdd, W)
+
+	case vm.OpSqrt:
+		a, d := t.lane(in.A), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			d[l] = math.Sqrt(a[l])
+		}
+		t.charge(machine.OpFPSqrt, W)
+		t.cost.flops += uint64(t.activeFor(W))
+
+	case vm.OpRsqrt:
+		a, d := t.lane(in.A), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			d[l] = 1 / math.Sqrt(a[l])
+		}
+		t.charge(machine.OpFPRsqrt, W)
+		t.cost.flops += uint64(t.activeFor(W))
+
+	case vm.OpRcp:
+		a, d := t.lane(in.A), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			d[l] = 1 / a[l]
+		}
+		t.charge(machine.OpFPRcp, W)
+		t.cost.flops += uint64(t.activeFor(W))
+
+	case vm.OpExp, vm.OpLog, vm.OpSin, vm.OpCos:
+		a, d := t.lane(in.A), t.lane(in.Dst)
+		var f func(float64) float64
+		switch in.Op {
+		case vm.OpExp:
+			f = math.Exp
+		case vm.OpLog:
+			f = math.Log
+		case vm.OpSin:
+			f = math.Sin
+		case vm.OpCos:
+			f = math.Cos
+		}
+		for l := 0; l < W; l++ {
+			d[l] = f(a[l])
+		}
+		if in.Scalar {
+			t.charge(machine.OpMathLibm, 1)
+		} else {
+			t.charge(machine.OpMathPoly, W)
+		}
+		t.cost.flops += uint64(t.activeFor(W))
+
+	case vm.OpCmpLT, vm.OpCmpLE, vm.OpCmpGT, vm.OpCmpGE, vm.OpCmpEQ, vm.OpCmpNE:
+		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			var r bool
+			switch in.Op {
+			case vm.OpCmpLT:
+				r = a[l] < b[l]
+			case vm.OpCmpLE:
+				r = a[l] <= b[l]
+			case vm.OpCmpGT:
+				r = a[l] > b[l]
+			case vm.OpCmpGE:
+				r = a[l] >= b[l]
+			case vm.OpCmpEQ:
+				r = a[l] == b[l]
+			case vm.OpCmpNE:
+				r = a[l] != b[l]
+			}
+			if r {
+				d[l] = 1
+			} else {
+				d[l] = 0
+			}
+		}
+		t.charge(machine.OpFPAdd, W) // cmpps issues on the FP add stack
+
+	case vm.OpAndM, vm.OpOrM:
+		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			x, y := a[l] != 0, b[l] != 0
+			var r bool
+			if in.Op == vm.OpAndM {
+				r = x && y
+			} else {
+				r = x || y
+			}
+			if r {
+				d[l] = 1
+			} else {
+				d[l] = 0
+			}
+		}
+		t.charge(machine.OpShuffle, W)
+
+	case vm.OpNotM:
+		a, d := t.lane(in.A), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			if a[l] == 0 {
+				d[l] = 1
+			} else {
+				d[l] = 0
+			}
+		}
+		t.charge(machine.OpShuffle, W)
+
+	case vm.OpBlend:
+		a, b, c, d := t.lane(in.A), t.lane(in.B), t.lane(in.C), t.lane(in.Dst)
+		for l := 0; l < W; l++ {
+			if c[l] != 0 {
+				d[l] = a[l]
+			} else {
+				d[l] = b[l]
+			}
+		}
+		t.charge(machine.OpBlend, W)
+
+	case vm.OpConst:
+		d := t.lane(in.Dst)
+		for l := 0; l < vm.MaxLanes; l++ {
+			d[l] = in.Imm
+		}
+		t.charge(machine.OpShuffle, W)
+
+	case vm.OpIota:
+		d := t.lane(in.Dst)
+		for l := 0; l < vm.MaxLanes; l++ {
+			d[l] = in.Imm + float64(l)
+		}
+		t.charge(machine.OpShuffle, W)
+
+	case vm.OpCopy:
+		copy(t.lane(in.Dst), t.lane(in.A))
+		t.charge(machine.OpShuffle, W)
+
+	case vm.OpBroadcast:
+		a, d := t.lane(in.A), t.lane(in.Dst)
+		v := a[0]
+		for l := 0; l < vm.MaxLanes; l++ {
+			d[l] = v
+		}
+		t.charge(machine.OpShuffle, W)
+
+	case vm.OpShuffle:
+		a, d := t.lane(in.A), t.lane(in.Dst)
+		var tmp [vm.MaxLanes]float64
+		for l := 0; l < W; l++ {
+			tmp[l] = a[in.Pattern[l%len(in.Pattern)]]
+		}
+		copy(d, tmp[:])
+		t.charge(machine.OpShuffle, W)
+
+	case vm.OpMaskMov:
+		d := t.lane(in.Dst)
+		for l := 0; l < vm.MaxLanes; l++ {
+			if t.mask&(1<<uint(l)) != 0 {
+				d[l] = 1
+			} else {
+				d[l] = 0
+			}
+		}
+		t.charge(machine.OpShuffle, W)
+
+	case vm.OpHAdd, vm.OpHMin, vm.OpHMax:
+		t.horizontal(in, W)
+
+	case vm.OpLoad:
+		t.load(in, W)
+
+	case vm.OpStore:
+		t.store(in, W)
+
+	case vm.OpGather:
+		t.gather(in, W)
+
+	case vm.OpScatter:
+		t.scatter(in, W)
+
+	case vm.OpLoop:
+		t.loop(in)
+
+	case vm.OpParLoop:
+		// Inside a thread (or for a single-thread engine) a parallel loop
+		// degenerates to a sequential loop over the thread's range; the
+		// engine handles top-level partitioning before we get here.
+		t.loop(in)
+
+	case vm.OpWhile:
+		t.while(in)
+
+	case vm.OpIf:
+		t.branch(in)
+
+	case vm.OpIfMask:
+		t.ifMask(in)
+
+	default:
+		t.fail(fmt.Errorf("exec: prog %s: unimplemented op %s", t.e.prog.Name, in.Op))
+	}
+}
+
+// activeFor returns the number of active lanes clipped to an op width.
+func (t *threadCtx) activeFor(w int) int {
+	if w == 1 {
+		return 1
+	}
+	n := t.active()
+	if n > w {
+		n = w
+	}
+	return n
+}
+
+func (t *threadCtx) horizontal(in *vm.Instr, w int) {
+	a, d := t.lane(in.A), t.lane(in.Dst)
+	var acc float64
+	first := true
+	for l := 0; l < w; l++ {
+		if t.mask&(1<<uint(l)) == 0 && w > 1 {
+			continue
+		}
+		v := a[l]
+		if first {
+			acc = v
+			first = false
+			continue
+		}
+		switch in.Op {
+		case vm.OpHAdd:
+			acc += v
+		case vm.OpHMin:
+			acc = math.Min(acc, v)
+		case vm.OpHMax:
+			acc = math.Max(acc, v)
+		}
+	}
+	for l := 0; l < vm.MaxLanes; l++ {
+		d[l] = acc
+	}
+	// log2(W) shuffle+add stages.
+	stages := bits.Len(uint(w)) - 1
+	if stages < 1 {
+		stages = 1
+	}
+	for s := 0; s < stages; s++ {
+		t.charge(machine.OpShuffle, w)
+		t.charge(machine.OpFPAdd, w)
+	}
+}

@@ -1,0 +1,340 @@
+package exec
+
+import (
+	"fmt"
+
+	"ninjagap/internal/cache"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// touchLine simulates one demand cache access and charges miss stalls.
+// carried loads lose miss-level parallelism (pointer chasing).
+func (t *threadCtx) touchLine(lineAddr uint64, write, carried bool) {
+	mlp := float64(t.e.m.Mem.MLP)
+	if carried {
+		mlp = 1
+	}
+	t.touchLineMLP(lineAddr, write, mlp)
+}
+
+// touchLineMLP is touchLine with an explicit miss-level-parallelism factor
+// (carried vector gathers still overlap their lanes' misses).
+func (t *threadCtx) touchLineMLP(lineAddr uint64, write bool, mlp float64) {
+	res := t.hier.Access(lineAddr, write)
+	if write {
+		// Store misses are absorbed by the store buffer and write-combining;
+		// their cost surfaces as DRAM traffic in the bandwidth bound.
+		return
+	}
+	if res.Level == cache.L1 {
+		return // covered by the pipelined L1 latency
+	}
+	l1 := t.e.m.Caches[0].Latency
+	pen := res.Latency - l1
+	if pen > 0 {
+		t.cost.stall += pen / mlp
+	}
+}
+
+func (t *threadCtx) boundsErr(in *vm.Instr, arr *vm.Array, idx int64) {
+	t.fail(fmt.Errorf("exec: prog %s: %s on array %s: index %d out of range [0,%d)",
+		t.e.prog.Name, in.Op, arr.Name, idx, len(arr.Data)))
+}
+
+// load implements OpLoad: lane l reads arr[base + l*stride] (scalar: just
+// base). Cost depends on the stride class: unit/broadcast strides are one
+// vector load; small strides cost extra loads and shuffles; large strides
+// degrade to a gather.
+func (t *threadCtx) load(in *vm.Instr, w int) {
+	arr := t.e.arrays[in.Arr]
+	base := int64(t.lane(in.A)[0])
+	d := t.lane(in.Dst)
+	lb := uint64(t.e.lineBytes)
+	eb := uint64(arr.ElemBytes)
+
+	if w == 1 {
+		if base < 0 || base >= int64(len(arr.Data)) {
+			t.boundsErr(in, arr, base)
+			return
+		}
+		d[0] = arr.Data[base]
+		t.charge(machine.OpLoad, 1)
+		if in.Carried {
+			t.chargeCarried(machine.OpLoad, 1, in.Unroll)
+		}
+		t.touchLine((arr.Base+uint64(base)*eb)/lb*lb, false, in.Carried)
+		return
+	}
+
+	stride := int64(in.Stride)
+	var lines [2 * vm.MaxLanes]uint64
+	nl := 0
+	for l := 0; l < w; l++ {
+		if t.mask&(1<<uint(l)) == 0 {
+			d[l] = 0
+			continue
+		}
+		idx := base + int64(l)*stride
+		if idx < 0 || idx >= int64(len(arr.Data)) {
+			t.boundsErr(in, arr, idx)
+			return
+		}
+		d[l] = arr.Data[idx]
+		la := (arr.Base + uint64(idx)*eb) / lb * lb
+		dup := false
+		for i := 0; i < nl; i++ {
+			if lines[i] == la {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lines[nl] = la
+			nl++
+		}
+	}
+
+	// Port cost by stride class (reverse strides behave like forward ones
+	// plus a permute).
+	astride := stride
+	if astride < 0 {
+		astride = -astride
+	}
+	switch {
+	case astride <= 1:
+		t.charge(machine.OpLoad, w)
+		if stride == -1 {
+			t.charge(machine.OpShuffle, w) // reverse permute
+		}
+		if astride == 1 && !t.e.m.Feat.FastUnaligned && base%int64(w) != 0 {
+			t.charge(machine.OpShuffle, w) // realign penalty
+		}
+	case astride <= 4:
+		for s := int64(0); s < astride; s++ {
+			t.charge(machine.OpLoad, w)
+			t.charge(machine.OpShuffle, w)
+		}
+	default:
+		t.gatherCost(nl)
+	}
+	if in.Carried {
+		t.chargeCarried(machine.OpLoad, w, in.Unroll)
+	}
+	for i := 0; i < nl; i++ {
+		t.touchLine(lines[i], false, in.Carried)
+	}
+}
+
+// store implements OpStore: lane l writes arr[base + l*stride] (masked).
+func (t *threadCtx) store(in *vm.Instr, w int) {
+	arr := t.e.arrays[in.Arr]
+	base := int64(t.lane(in.B)[0])
+	v := t.lane(in.A)
+	lb := uint64(t.e.lineBytes)
+	eb := uint64(arr.ElemBytes)
+
+	if w == 1 {
+		if base < 0 || base >= int64(len(arr.Data)) {
+			t.boundsErr(in, arr, base)
+			return
+		}
+		arr.Data[base] = v[0]
+		t.charge(machine.OpStore, 1)
+		t.touchLine((arr.Base+uint64(base)*eb)/lb*lb, true, false)
+		return
+	}
+
+	stride := int64(in.Stride)
+	var lines [2 * vm.MaxLanes]uint64
+	nl := 0
+	for l := 0; l < w; l++ {
+		if t.mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		idx := base + int64(l)*stride
+		if idx < 0 || idx >= int64(len(arr.Data)) {
+			t.boundsErr(in, arr, idx)
+			return
+		}
+		arr.Data[idx] = v[l]
+		la := (arr.Base + uint64(idx)*eb) / lb * lb
+		dup := false
+		for i := 0; i < nl; i++ {
+			if lines[i] == la {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lines[nl] = la
+			nl++
+		}
+	}
+	astride := stride
+	if astride < 0 {
+		astride = -astride
+	}
+	switch {
+	case astride <= 1:
+		t.charge(machine.OpStore, w)
+		if t.mask != t.fullMask() {
+			t.charge(machine.OpBlend, w) // masked store needs a blend/mask op
+		}
+	case astride <= 4:
+		for s := int64(0); s < astride; s++ {
+			t.charge(machine.OpStore, w)
+			t.charge(machine.OpShuffle, w)
+		}
+	default:
+		t.scatterCost(nl)
+	}
+	for i := 0; i < nl; i++ {
+		t.touchLine(lines[i], true, false)
+	}
+}
+
+// gather implements OpGather: lane l reads arr[idx.lane(l)].
+func (t *threadCtx) gather(in *vm.Instr, w int) {
+	arr := t.e.arrays[in.Arr]
+	idxs := t.lane(in.A)
+	d := t.lane(in.Dst)
+	lb := uint64(t.e.lineBytes)
+	eb := uint64(arr.ElemBytes)
+
+	var lines [vm.MaxLanes]uint64
+	nl := 0
+	for l := 0; l < w; l++ {
+		if w > 1 && t.mask&(1<<uint(l)) == 0 {
+			d[l] = 0
+			continue
+		}
+		idx := int64(idxs[l])
+		if idx < 0 || idx >= int64(len(arr.Data)) {
+			t.boundsErr(in, arr, idx)
+			return
+		}
+		d[l] = arr.Data[idx]
+		la := (arr.Base + uint64(idx)*eb) / lb * lb
+		dup := false
+		for i := 0; i < nl; i++ {
+			if lines[i] == la {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lines[nl] = la
+			nl++
+		}
+	}
+	t.gatherCost(nl)
+	if in.Carried {
+		t.chargeCarried(machine.OpGatherElem, 1, in.Unroll)
+	}
+	// A carried gather serializes with the previous iteration, but its own
+	// lanes' misses still overlap with each other.
+	mlp := float64(t.e.m.Mem.MLP)
+	if in.Carried {
+		act := t.active()
+		if act < 1 {
+			act = 1
+		}
+		if float64(act) < mlp {
+			mlp = float64(act)
+		}
+	}
+	for i := 0; i < nl; i++ {
+		t.touchLineMLP(lines[i], false, mlp)
+	}
+}
+
+// scatter implements OpScatter: lane l writes arr[idx.lane(l)] (masked).
+func (t *threadCtx) scatter(in *vm.Instr, w int) {
+	arr := t.e.arrays[in.Arr]
+	idxs := t.lane(in.B)
+	v := t.lane(in.A)
+	lb := uint64(t.e.lineBytes)
+	eb := uint64(arr.ElemBytes)
+
+	var lines [vm.MaxLanes]uint64
+	nl := 0
+	for l := 0; l < w; l++ {
+		if w > 1 && t.mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		idx := int64(idxs[l])
+		if idx < 0 || idx >= int64(len(arr.Data)) {
+			t.boundsErr(in, arr, idx)
+			return
+		}
+		arr.Data[idx] = v[l]
+		la := (arr.Base + uint64(idx)*eb) / lb * lb
+		dup := false
+		for i := 0; i < nl; i++ {
+			if lines[i] == la {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lines[nl] = la
+			nl++
+		}
+	}
+	t.scatterCost(nl)
+	for i := 0; i < nl; i++ {
+		t.touchLine(lines[i], true, false)
+	}
+}
+
+// gatherCost charges the port cost of gathering from nl distinct lines.
+// With hardware gather the instruction is line-rate limited; without it,
+// every active element pays the extract-load-insert sequence.
+func (t *threadCtx) gatherCost(nl int) {
+	act := t.active()
+	if act == 0 {
+		act = 1
+	}
+	if t.e.m.Feat.HWGather {
+		c := t.e.m.Cost(machine.OpLoad)
+		occ := float64(nl)
+		if occ < 1 {
+			occ = 1
+		}
+		t.cost.port[c.Port] += occ
+		t.cost.instrs++
+		t.cost.dyn++
+		t.cost.classes[machine.OpGatherElem]++
+		return
+	}
+	c := t.e.m.Cost(machine.OpGatherElem)
+	t.cost.port[c.Port] += c.Occupancy(act)
+	t.cost.instrs += float64(act)
+	t.cost.dyn += uint64(act)
+	t.cost.classes[machine.OpGatherElem] += uint64(act)
+}
+
+func (t *threadCtx) scatterCost(nl int) {
+	act := t.active()
+	if act == 0 {
+		act = 1
+	}
+	if t.e.m.Feat.HWScatter {
+		c := t.e.m.Cost(machine.OpStore)
+		occ := float64(nl)
+		if occ < 1 {
+			occ = 1
+		}
+		t.cost.port[c.Port] += occ
+		t.cost.instrs++
+		t.cost.dyn++
+		t.cost.classes[machine.OpScatterElem]++
+		return
+	}
+	c := t.e.m.Cost(machine.OpScatterElem)
+	t.cost.port[c.Port] += c.Occupancy(act)
+	t.cost.instrs += float64(act)
+	t.cost.dyn += uint64(act)
+	t.cost.classes[machine.OpScatterElem] += uint64(act)
+}

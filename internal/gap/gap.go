@@ -1,0 +1,133 @@
+// Package gap implements the paper's experiments: it runs benchmark
+// versions through the simulator, forms the Ninja-gap ratios, and
+// regenerates every table and figure of the evaluation (see DESIGN.md's
+// experiment index). All runs validate their functional output against the
+// pure-Go references before any number is reported.
+package gap
+
+import (
+	"fmt"
+
+	"ninjagap/internal/exec"
+	"ninjagap/internal/kernels"
+	"ninjagap/internal/machine"
+)
+
+// Config scales and scopes an experiment run.
+type Config struct {
+	// Scale multiplies each benchmark's default problem size (1.0 = the
+	// evaluation size; tests use small fractions). 0 means 1.0.
+	Scale float64
+	// Benches restricts the suite (nil = all).
+	Benches []string
+	// SkipCheck disables golden validation (never set in tests; exists so
+	// very large exploratory runs can skip re-deriving references).
+	SkipCheck bool
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// benches resolves the configured benchmark list.
+func (c Config) benches() ([]kernels.Benchmark, error) {
+	if len(c.Benches) == 0 {
+		return kernels.All(), nil
+	}
+	out := make([]kernels.Benchmark, 0, len(c.Benches))
+	for _, name := range c.Benches {
+		b, err := kernels.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// LegalN rounds a scaled problem size to one the benchmark accepts
+// (power-of-two keys for mergesort, block multiples for the blocked
+// kernels, sane minimum grid sizes).
+func LegalN(b kernels.Benchmark, n int) int {
+	min := b.TestN()
+	if n < min {
+		n = min
+	}
+	switch b.Name() {
+	case "mergesort":
+		p := 1
+		for p*2 <= n {
+			p *= 2
+		}
+		return p
+	case "complexconv", "libor", "blackscholes", "treesearch":
+		const q = 64
+		return (n / q) * q
+	default:
+		return n
+	}
+}
+
+// SizeFor returns the scaled legal size for a benchmark.
+func SizeFor(b kernels.Benchmark, cfg Config) int {
+	return LegalN(b, int(float64(b.DefaultN())*cfg.scale()))
+}
+
+// Measurement is one validated simulated run.
+type Measurement struct {
+	Bench   string
+	Version kernels.Version
+	Machine string
+	N       int
+	Threads int
+	Res     *exec.Result
+	Inst    *kernels.Instance
+}
+
+// Seconds is the simulated execution time.
+func (m *Measurement) Seconds() float64 { return m.Res.Seconds }
+
+// Measure prepares, runs and validates one benchmark version. Serial
+// versions (naive, autovec) run on one thread per the paper's gap
+// definition; the rest use every hardware thread.
+func Measure(b kernels.Benchmark, v kernels.Version, m *machine.Machine, n int, skipCheck bool) (*Measurement, error) {
+	inst, err := b.Prepare(v, m, n)
+	if err != nil {
+		return nil, err
+	}
+	threads := m.HWThreads()
+	if v.Serial() {
+		threads = 1
+	}
+	res, err := exec.Run(inst.Prog, inst.Arrays, m, exec.Options{Threads: threads})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s on %s: %w", b.Name(), v, m.Name, err)
+	}
+	if !skipCheck {
+		if err := inst.Check(); err != nil {
+			return nil, fmt.Errorf("%s/%s on %s: functional check failed: %w", b.Name(), v, m.Name, err)
+		}
+	}
+	return &Measurement{
+		Bench: b.Name(), Version: v, Machine: m.Name, N: n,
+		Threads: threads, Res: res, Inst: inst,
+	}, nil
+}
+
+// MeasureVersions measures a set of versions of one benchmark at its
+// scaled size.
+func MeasureVersions(b kernels.Benchmark, m *machine.Machine, cfg Config, vs ...kernels.Version) (map[kernels.Version]*Measurement, error) {
+	n := SizeFor(b, cfg)
+	out := make(map[kernels.Version]*Measurement, len(vs))
+	for _, v := range vs {
+		meas, err := Measure(b, v, m, n, cfg.SkipCheck)
+		if err != nil {
+			return nil, err
+		}
+		out[v] = meas
+	}
+	return out, nil
+}

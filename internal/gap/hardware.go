@@ -1,0 +1,314 @@
+package gap
+
+import (
+	"fmt"
+
+	"ninjagap/internal/exec"
+	"ninjagap/internal/kernels"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/report"
+)
+
+// runInst executes a prepared instance at a given thread count and returns
+// simulated seconds.
+func runInst(inst *kernels.Instance, m *machine.Machine, threads int, skipCheck bool) (float64, error) {
+	res, err := exec.Run(inst.Prog, inst.Arrays, m, exec.Options{Threads: threads})
+	if err != nil {
+		return 0, err
+	}
+	if !skipCheck {
+		if err := inst.Check(); err != nil {
+			return 0, err
+		}
+	}
+	return res.Seconds, nil
+}
+
+// HWRow is one benchmark's hardware-support comparison.
+type HWRow struct {
+	Bench   string
+	Base    float64 // base-machine time (s)
+	WithHW  float64 // same code with hardware gather/scatter + FMA
+	Speedup float64
+	// AlgoSpeedup is the same comparison on the algorithmic version
+	// (which is where the irregular kernels' vector gathers live).
+	AlgoSpeedup float64
+}
+
+// HWResult is Figure 7's data.
+type HWResult struct {
+	Rows []HWRow
+}
+
+// Fig7Hardware reproduces Figure 7: hardware support for programmability.
+// The *source-unchanged* code is run on a Westmere variant with hardware
+// gather/scatter and FMA: the features absorb layout and irregular-access
+// penalties that otherwise require source changes. Two columns: the
+// pragma version (annotations only) and the algorithmic version (whose
+// restructured SIMD code is gather-heavy for the irregular kernels).
+func Fig7Hardware(cfg Config) (*HWResult, error) {
+	bs, err := cfg.benches()
+	if err != nil {
+		return nil, err
+	}
+	base := machine.WestmereX980()
+	feat := base.Feat
+	feat.HWGather = true
+	feat.HWScatter = true
+	feat.FMA = true
+	hw := base.WithFeatures(feat)
+
+	out := &HWResult{}
+	for _, b := range bs {
+		n := SizeFor(b, cfg)
+		row := HWRow{Bench: b.Name()}
+		for _, v := range []kernels.Version{kernels.Pragma, kernels.Algo} {
+			mb, err := Measure(b, v, base, n, cfg.SkipCheck)
+			if err != nil {
+				return nil, err
+			}
+			mh, err := Measure(b, v, hw, n, cfg.SkipCheck)
+			if err != nil {
+				return nil, err
+			}
+			sp := mb.Seconds() / mh.Seconds()
+			if v == kernels.Pragma {
+				row.Base, row.WithHW, row.Speedup = mb.Seconds(), mh.Seconds(), sp
+			} else {
+				row.AlgoSpeedup = sp
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render draws the hardware-support chart.
+func (r *HWResult) Render() string {
+	c := report.NewBarChart(
+		"fig7: hardware gather/scatter+FMA speedup on unchanged source", "x", false)
+	for _, row := range r.Rows {
+		c.Add(row.Bench+"/pragma", row.Speedup, "")
+		c.Add(row.Bench+"/algo", row.AlgoSpeedup, "")
+	}
+	return c.String()
+}
+
+// EffortRow relates programming effort to achieved performance.
+type EffortRow struct {
+	Bench string
+	// Stmts counts source statements per version (VM instructions for
+	// ninja — hand intrinsics code).
+	Stmts map[kernels.Version]int
+	// Speedup over naive per version.
+	Speedup map[kernels.Version]float64
+}
+
+// EffortResult is Figure 8's data.
+type EffortResult struct {
+	Rows []EffortRow
+}
+
+// Fig8Effort reproduces Figure 8: performance gained per unit of
+// programming effort. Source-statement counts stand in for the paper's
+// code-change metric; the ninja column shows how much more code the
+// hand-tuned version needs for its last ~1.3X.
+func Fig8Effort(cfg Config) (*EffortResult, error) {
+	bs, err := cfg.benches()
+	if err != nil {
+		return nil, err
+	}
+	m := machine.WestmereX980()
+	vs := kernels.Versions()
+	out := &EffortResult{}
+	for _, b := range bs {
+		ms, err := MeasureVersions(b, m, cfg, vs...)
+		if err != nil {
+			return nil, err
+		}
+		row := EffortRow{Bench: b.Name(),
+			Stmts:   map[kernels.Version]int{},
+			Speedup: map[kernels.Version]float64{}}
+		naive := ms[kernels.Naive].Seconds()
+		for _, v := range vs {
+			row.Stmts[v] = ms[v].Inst.SourceStmts
+			row.Speedup[v] = naive / ms[v].Seconds()
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render draws the effort table.
+func (r *EffortResult) Render() string {
+	t := report.NewTable("fig8: programming effort (source statements) vs speedup over naive",
+		"bench", "naive", "pragma", "algo", "ninja(VM instrs)",
+		"pragma speedup", "algo speedup", "ninja speedup")
+	for _, row := range r.Rows {
+		t.Add(row.Bench,
+			row.Stmts[kernels.Naive], row.Stmts[kernels.Pragma],
+			row.Stmts[kernels.Algo], row.Stmts[kernels.Ninja],
+			row.Speedup[kernels.Pragma], row.Speedup[kernels.Algo],
+			row.Speedup[kernels.Ninja])
+	}
+	return t.String()
+}
+
+// AblationResult holds the E9 design ablations.
+type AblationResult struct {
+	Prefetch []HWRow // prefetcher on vs off (streaming kernels)
+	SMT      []HWRow // SMT on vs off (irregular kernels)
+	Scaling  []ScalePoint
+}
+
+// ScalePoint is one core count's time for the scaling ablation.
+type ScalePoint struct {
+	Bench   string
+	Cores   int
+	Seconds float64
+}
+
+// Ablate runs the design ablations: prefetcher contribution on streaming
+// kernels, SMT contribution on latency-bound kernels, and core scaling of
+// a bandwidth-bound kernel (showing saturation).
+func Ablate(cfg Config) (*AblationResult, error) {
+	m := machine.WestmereX980()
+	out := &AblationResult{}
+
+	for _, name := range []string{"stencil", "lbm", "blackscholes"} {
+		b, err := kernels.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		n := SizeFor(b, cfg)
+		inst, err := b.Prepare(kernels.Algo, m, n)
+		if err != nil {
+			return nil, err
+		}
+		on, err := exec.Run(inst.Prog, inst.Arrays, m, exec.Options{Threads: m.HWThreads()})
+		if err != nil {
+			return nil, err
+		}
+		inst2, err := b.Prepare(kernels.Algo, m, n)
+		if err != nil {
+			return nil, err
+		}
+		off, err := exec.Run(inst2.Prog, inst2.Arrays, m, exec.Options{Threads: m.HWThreads(), DisablePrefetch: true})
+		if err != nil {
+			return nil, err
+		}
+		out.Prefetch = append(out.Prefetch, HWRow{
+			Bench: name, Base: off.Seconds, WithHW: on.Seconds,
+			Speedup: off.Seconds / on.Seconds,
+		})
+	}
+
+	for _, name := range []string{"treesearch", "volumerender", "backprojection"} {
+		b, err := kernels.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		n := SizeFor(b, cfg)
+		inst, err := b.Prepare(kernels.Algo, m, n)
+		if err != nil {
+			return nil, err
+		}
+		noSMT, err := exec.Run(inst.Prog, inst.Arrays, m, exec.Options{Threads: m.Cores})
+		if err != nil {
+			return nil, err
+		}
+		inst2, err := b.Prepare(kernels.Algo, m, n)
+		if err != nil {
+			return nil, err
+		}
+		smt, err := exec.Run(inst2.Prog, inst2.Arrays, m, exec.Options{Threads: m.HWThreads()})
+		if err != nil {
+			return nil, err
+		}
+		out.SMT = append(out.SMT, HWRow{
+			Bench: name, Base: noSMT.Seconds, WithHW: smt.Seconds,
+			Speedup: noSMT.Seconds / smt.Seconds,
+		})
+	}
+
+	b, err := kernels.ByName("stencil")
+	if err != nil {
+		return nil, err
+	}
+	n := SizeFor(b, cfg)
+	for _, cores := range []int{1, 2, 3, 4, 6} {
+		mc := m.WithCores(cores)
+		inst, err := b.Prepare(kernels.Algo, mc, n)
+		if err != nil {
+			return nil, err
+		}
+		res, err := exec.Run(inst.Prog, inst.Arrays, mc, exec.Options{Threads: cores})
+		if err != nil {
+			return nil, err
+		}
+		out.Scaling = append(out.Scaling, ScalePoint{Bench: "stencil", Cores: cores, Seconds: res.Seconds})
+	}
+	return out, nil
+}
+
+// Render draws the ablation tables.
+func (r *AblationResult) Render() string {
+	t1 := report.NewTable("ablation: hardware prefetcher (algo version, all threads)",
+		"bench", "off (s)", "on (s)", "speedup")
+	for _, row := range r.Prefetch {
+		t1.Add(row.Bench, row.Base, row.WithHW, row.Speedup)
+	}
+	t2 := report.NewTable("ablation: SMT (cores threads vs all hardware threads)",
+		"bench", "no SMT (s)", "SMT (s)", "speedup")
+	for _, row := range r.SMT {
+		t2.Add(row.Bench, row.Base, row.WithHW, row.Speedup)
+	}
+	t3 := report.NewTable("ablation: core scaling of a bandwidth-bound kernel",
+		"bench", "cores", "seconds", "scaling vs 1 core")
+	var base float64
+	for _, p := range r.Scaling {
+		if p.Cores == 1 {
+			base = p.Seconds
+		}
+		t3.Add(p.Bench, p.Cores, p.Seconds, base/p.Seconds)
+	}
+	return t1.String() + "\n" + t2.String() + "\n" + t3.String()
+}
+
+// Table1Suite renders the benchmark characterization table (paper Table 1)
+// with measured characteristics.
+func Table1Suite(cfg Config) (string, error) {
+	bs, err := cfg.benches()
+	if err != nil {
+		return "", err
+	}
+	m := machine.WestmereX980()
+	t := report.NewTable("table1: throughput-computing benchmark suite",
+		"bench", "domain", "character", "size", "naive GF/s", "ninja GF/s", "ninja bound")
+	for _, b := range bs {
+		n := SizeFor(b, cfg)
+		nv, err := Measure(b, kernels.Naive, m, n, cfg.SkipCheck)
+		if err != nil {
+			return "", err
+		}
+		nj, err := Measure(b, kernels.Ninja, m, n, cfg.SkipCheck)
+		if err != nil {
+			return "", err
+		}
+		t.Add(b.Name(), b.Domain(), b.Character(), fmt.Sprintf("%d", n),
+			nv.Res.GFlops, nj.Res.GFlops, nj.Res.BoundBy)
+	}
+	return t.String(), nil
+}
+
+// Table2Machines renders the platform table (paper Table 2).
+func Table2Machines() string {
+	t := report.NewTable("table2: modeled platforms",
+		"machine", "year", "cores", "SMT", "SIMD f32", "GHz", "LLC", "GB/s", "gather", "FMA")
+	for _, m := range machine.All() {
+		t.Add(m.Name, m.Year, m.Cores, m.Feat.SMT, m.VecWidthF32, m.FreqGHz,
+			fmt.Sprintf("%dK", m.LLC().SizeBytes>>10), m.Mem.BandwidthGBps,
+			m.Feat.HWGather, m.Feat.FMA)
+	}
+	return t.String()
+}

@@ -1,0 +1,210 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// BackProjection reconstructs an image from projections (the compute core
+// of filtered backprojection in CT imaging): every pixel accumulates a
+// linearly interpolated sinogram sample for every projection angle. The
+// sample index depends on cos/sin of the angle, so vector code needs
+// gathers — the kernel the paper uses to motivate hardware gather support.
+type BackProjection struct{}
+
+func init() { register(BackProjection{}) }
+
+// Name implements Benchmark.
+func (BackProjection) Name() string { return "backprojection" }
+
+// Description implements Benchmark.
+func (BackProjection) Description() string {
+	return "CT image reconstruction by backprojecting sinogram samples"
+}
+
+// Domain implements Benchmark.
+func (BackProjection) Domain() string { return "medical imaging" }
+
+// Character implements Benchmark.
+func (BackProjection) Character() string { return "compute + gather bound, irregular reads" }
+
+// DefaultN implements Benchmark: image dimension D (projections scale as D/4).
+func (BackProjection) DefaultN() int { return 160 }
+
+// TestN implements Benchmark.
+func (BackProjection) TestN() int { return 28 }
+
+func bpProj(d int) int {
+	p := d / 4
+	if p < 8 {
+		p = 8
+	}
+	return p
+}
+
+func bpGen(d int) []float64 {
+	g := rng(3303)
+	nproj := bpProj(d)
+	sino := make([]float64, nproj*d)
+	for i := range sino {
+		sino[i] = g.Float64()
+	}
+	return sino
+}
+
+func bpRef(sino []float64, d int) []float64 {
+	nproj := bpProj(d)
+	img := make([]float64, d*d)
+	cx := float64(d) / 2
+	for a := 0; a < nproj; a++ {
+		ang := float64(a) * math.Pi / float64(nproj)
+		ca, sa := math.Cos(ang), math.Sin(ang)
+		for y := 0; y < d; y++ {
+			for x := 0; x < d; x++ {
+				t := (float64(x)-cx)*ca + (float64(y)-cx)*sa + cx
+				it := math.Floor(t)
+				if it < 0 {
+					it = 0
+				}
+				if it > float64(d-2) {
+					it = float64(d - 2)
+				}
+				fr := t - it
+				base := a*d + int(it)
+				img[y*d+x] += sino[base]*(1-fr) + sino[base+1]*fr
+			}
+		}
+	}
+	return img
+}
+
+// source builds the kernel: angle-outer pixel loops; the Algo version
+// annotates the x loop for SIMD (gathered sinogram reads coalesce along x,
+// so gathers touch few distinct lines).
+func (b BackProjection) source(v Version, d int) *lang.Kernel {
+	nproj := bpProj(d)
+	sino := &lang.Array{Name: "sino", Elem: lang.F32, Len: nproj * d, Restrict: v >= Algo}
+	img := &lang.Array{Name: "img", Elem: lang.F32, Len: d * d, Restrict: v >= Algo}
+	df := float64(d)
+	cx := df / 2
+
+	xBody := []lang.Stmt{
+		let("t", add(add(mul(sub(vr("x"), num(cx)), vr("ca")),
+			mul(sub(vr("y"), num(cx)), vr("sa"))), num(cx))),
+		let("it", minf(maxf(fl(vr("t")), num(0)), num(df-2))),
+		let("fr", sub(vr("t"), vr("it"))),
+		let("bse", add(mul(vr("a"), num(df)), vr("it"))),
+		set(lat(img, add(mul(vr("y"), num(df)), vr("x"))),
+			add(at(img, add(mul(vr("y"), num(df)), vr("x"))),
+				add(mul(at(sino, vr("bse")), sub(num(1), vr("fr"))),
+					mul(at(sino, add(vr("bse"), num(1))), vr("fr"))))),
+	}
+	xLoop := lang.For{Var: "x", Lo: num(0), Hi: num(df),
+		Simd: v >= Algo, Ivdep: v >= Pragma, Unroll: 2, Body: xBody}
+	yLoop := lang.For{Var: "y", Lo: num(0), Hi: num(df), Body: []lang.Stmt{xLoop}}
+	aLoop := lang.For{Var: "a", Lo: num(0), Hi: num(float64(nproj)), Body: []lang.Stmt{
+		let("ang", mul(vr("a"), num(math.Pi/float64(nproj)))),
+		let("ca", lang.Fn("cos", vr("ang"))),
+		let("sa", lang.Fn("sin", vr("ang"))),
+		yLoop,
+	}}
+	// Threading: pixels rows are independent across y but the angle loop
+	// carries the accumulation, so the parallel loop must be y-outermost.
+	// From Pragma level on, the y loop is hoisted outermost (a low-effort
+	// loop interchange the paper counts as annotation-level).
+	if v >= Pragma {
+		yOuter := lang.For{Var: "y", Lo: num(0), Hi: num(df), Parallel: true, Body: []lang.Stmt{
+			lang.For{Var: "a", Lo: num(0), Hi: num(float64(nproj)), Body: []lang.Stmt{
+				let("ang", mul(vr("a"), num(math.Pi/float64(nproj)))),
+				let("ca", lang.Fn("cos", vr("ang"))),
+				let("sa", lang.Fn("sin", vr("ang"))),
+				xLoop,
+			}},
+		}}
+		return &lang.Kernel{Name: "backprojection-" + v.String(),
+			Arrays: []*lang.Array{sino, img}, Body: []lang.Stmt{yOuter}}
+	}
+	return &lang.Kernel{Name: "backprojection-" + v.String(),
+		Arrays: []*lang.Array{sino, img}, Body: []lang.Stmt{aLoop}}
+}
+
+// Prepare implements Benchmark.
+func (b BackProjection) Prepare(v Version, m *machine.Machine, d int) (*Instance, error) {
+	sino := bpGen(d)
+	golden := bpRef(sino, d)
+	arrays := map[string]*vm.Array{
+		"sino": newArr("sino", len(sino)),
+		"img":  newArr("img", d*d),
+	}
+	copy(arrays["sino"].Data, sino)
+	check := func() error {
+		return checkClose("backprojection/"+v.String(), arrays["img"].Data, golden, 1e-7)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, d)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, d, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, d), d, arrays, check)
+}
+
+// ninja is the hand-written version: per row, per angle, the ray parameter
+// t is advanced incrementally (t += ca per pixel step computed as affine
+// base), the gather runs over x, and the accumulation stays in a register
+// until the row segment is stored.
+func (b BackProjection) ninja(m *machine.Machine, d int) (*vm.Prog, error) {
+	bd := vm.NewBuilder("backprojection-ninja")
+	sino := bd.Array("sino", 4)
+	img := bd.Array("img", 4)
+	nproj := bpProj(d)
+	df := float64(d)
+	cx := bd.Const(df / 2)
+	dtheta := bd.Const(math.Pi / float64(nproj))
+	dreg := bd.Const(df)
+	one := bd.Const(1)
+	zero := bd.Const(0)
+	dm2 := bd.Const(df - 2)
+
+	y := bd.ParLoop(0, int64(d))
+	rowBase := bd.ScalarAddr2(vm.OpMul, y, dreg)
+	a := bd.Loop(0, int64(nproj))
+	ang := bd.Scalar2(vm.OpMul, a, dtheta)
+	ca := bd.Broadcast(bd.Scalar1(vm.OpCos, ang))
+	sa := bd.Broadcast(bd.Scalar1(vm.OpSin, ang))
+	yc := bd.Scalar2(vm.OpSub, y, cx)
+	ysa := bd.Broadcast(bd.Scalar2(vm.OpMul, yc, sa))
+	aBase := bd.Broadcast(bd.ScalarAddr2(vm.OpMul, a, dreg))
+
+	x := bd.VecLoop(0, int64(d))
+	bd.SetUnroll(4)
+	xc := bd.Op2(vm.OpSub, x, cx)
+	t := bd.FMA(xc, ca, ysa)
+	t = bd.Op2(vm.OpAdd, t, cx)
+	it := bd.Op2(vm.OpMin, bd.Op2(vm.OpMax, bd.Op1(vm.OpFloor, t), zero), dm2)
+	fr := bd.Op2(vm.OpSub, t, it)
+	idx := bd.Addr2(vm.OpAdd, aBase, it)
+	s0 := bd.Gather(sino, idx)
+	idx1 := bd.Addr2(vm.OpAdd, idx, one)
+	s1 := bd.Gather(sino, idx1)
+	omfr := bd.Op2(vm.OpSub, one, fr)
+	contrib := bd.Op2(vm.OpMul, s0, omfr)
+	contrib = bd.FMA(s1, fr, contrib)
+	pidx := bd.ScalarAddr2(vm.OpAdd, rowBase, x)
+	old := bd.Load(img, pidx, 1)
+	bd.Store(img, bd.Op2(vm.OpAdd, old, contrib), pidx, 1)
+	bd.End()
+	bd.End()
+	bd.End()
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("backprojection ninja: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,278 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// BlackScholes prices European call options with the Black-Scholes closed
+// form. It is the suite's canonical compute-bound transcendental kernel:
+// the naive version pays scalar libm calls and an AoS option layout; the
+// Ninja gap closes through vector math, SoA conversion, and branchless
+// cumulative-normal evaluation.
+type BlackScholes struct{}
+
+// Cumulative normal distribution polynomial coefficients (Abramowitz &
+// Stegun 26.2.17, as used in the classic BlackScholes kernels).
+const (
+	cndA1   = 0.31938153
+	cndA2   = -0.356563782
+	cndA3   = 1.781477937
+	cndA4   = -1.821255978
+	cndA5   = 1.330274429
+	invSqrt = 0.3989422804014327 // 1/sqrt(2*pi)
+	cndK    = 0.2316419
+)
+
+// Name implements Benchmark.
+func (BlackScholes) Name() string { return "blackscholes" }
+
+// Description implements Benchmark.
+func (BlackScholes) Description() string {
+	return "European option pricing via the Black-Scholes closed form"
+}
+
+// Domain implements Benchmark.
+func (BlackScholes) Domain() string { return "finance" }
+
+// Character implements Benchmark.
+func (BlackScholes) Character() string { return "compute-bound, transcendental-heavy" }
+
+// DefaultN implements Benchmark: number of options.
+func (BlackScholes) DefaultN() int { return 1 << 17 }
+
+// TestN implements Benchmark.
+func (BlackScholes) TestN() int { return 1 << 11 }
+
+// bsInputs generates option parameters (canonical, layout-independent).
+type bsInputs struct {
+	s, k, t, r, v []float64
+}
+
+func bsGen(n int) *bsInputs {
+	g := rng(4202)
+	in := &bsInputs{
+		s: make([]float64, n), k: make([]float64, n), t: make([]float64, n),
+		r: make([]float64, n), v: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		in.s[i] = 10 + 90*g.Float64()
+		in.k[i] = 10 + 90*g.Float64()
+		in.t[i] = 0.2 + 1.8*g.Float64()
+		in.r[i] = 0.02 + 0.06*g.Float64()
+		in.v[i] = 0.1 + 0.5*g.Float64()
+	}
+	return in
+}
+
+func cndRef(d float64) float64 {
+	l := math.Abs(d)
+	k1 := 1 / (1 + cndK*l)
+	poly := k1 * (cndA1 + k1*(cndA2+k1*(cndA3+k1*(cndA4+k1*cndA5))))
+	w := 1 - invSqrt*math.Exp(-l*l/2)*poly
+	if d < 0 {
+		return 1 - w
+	}
+	return w
+}
+
+func bsRef(in *bsInputs) []float64 {
+	out := make([]float64, len(in.s))
+	for i := range out {
+		sq := math.Sqrt(in.t[i])
+		d1 := (math.Log(in.s[i]/in.k[i]) + (in.r[i]+in.v[i]*in.v[i]/2)*in.t[i]) / (in.v[i] * sq)
+		d2 := d1 - in.v[i]*sq
+		out[i] = in.s[i]*cndRef(d1) - in.k[i]*math.Exp(-in.r[i]*in.t[i])*cndRef(d2)
+	}
+	return out
+}
+
+// cndStmts builds the CND evaluation of variable dVar into variable wVar.
+// branchy selects the naive If form (mispredicting data-dependent branch)
+// versus the branchless select form.
+func cndStmts(dVar, wVar string, branchy bool) []lang.Stmt {
+	l := wVar + "_l"
+	k1 := wVar + "_k"
+	poly := wVar + "_p"
+	stmts := []lang.Stmt{
+		let(l, absf(vr(dVar))),
+		let(k1, div(num(1), add(num(1), mul(num(cndK), vr(l))))),
+		let(poly, mul(vr(k1),
+			add(num(cndA1), mul(vr(k1),
+				add(num(cndA2), mul(vr(k1),
+					add(num(cndA3), mul(vr(k1),
+						add(num(cndA4), mul(vr(k1), num(cndA5))))))))))),
+		let(wVar, sub(num(1),
+			mul(mul(num(invSqrt), exp(mul(num(-0.5), mul(vr(l), vr(l))))), vr(poly)))),
+	}
+	if branchy {
+		stmts = append(stmts, lang.If{
+			Cond:     lt(vr(dVar), num(0)),
+			MissProb: 0.5,
+			Then:     []lang.Stmt{let(wVar, sub(num(1), vr(wVar)))},
+		})
+	} else {
+		stmts = append(stmts, let(wVar,
+			sel(lt(vr(dVar), num(0)), sub(num(1), vr(wVar)), vr(wVar))))
+	}
+	return stmts
+}
+
+// bsBody builds the per-option pricing statements reading from the given
+// accessor functions and writing out[i].
+func bsBody(out *lang.Array, field func(f int) lang.Expr, branchy bool) []lang.Stmt {
+	body := []lang.Stmt{
+		let("s", field(0)),
+		let("k", field(1)),
+		let("t", field(2)),
+		let("r", field(3)),
+		let("vv", field(4)),
+		let("sq", sqrt(vr("t"))),
+		let("d1", div(
+			add(lg(div(vr("s"), vr("k"))),
+				mul(add(vr("r"), mul(mul(vr("vv"), vr("vv")), num(0.5))), vr("t"))),
+			mul(vr("vv"), vr("sq")))),
+		let("d2", sub(vr("d1"), mul(vr("vv"), vr("sq")))),
+	}
+	body = append(body, cndStmts("d1", "w1", branchy)...)
+	body = append(body, cndStmts("d2", "w2", branchy)...)
+	body = append(body,
+		set(lat(out, vr("i")),
+			sub(mul(vr("s"), vr("w1")),
+				mul(mul(vr("k"), exp(mul(num(-1), mul(vr("r"), vr("t"))))), vr("w2")))))
+	return body
+}
+
+// source builds the lang kernel for the compiled versions.
+func (b BlackScholes) source(v Version, n int) *lang.Kernel {
+	soa := v >= Algo
+	opt := &lang.Array{Name: "opt", Elem: lang.F32, Len: n, Fields: 5, SoA: soa, Restrict: v >= Algo}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: n, Restrict: v >= Algo}
+	branchy := v < Algo
+	loop := lang.For{
+		Var: "i", Lo: num(0), Hi: num(float64(n)),
+		Parallel: v >= Pragma,
+		Simd:     v >= Pragma,
+		Unroll:   4,
+		Body:     bsBody(out, func(f int) lang.Expr { return atf(opt, vr("i"), f) }, branchy),
+	}
+	return &lang.Kernel{Name: "blackscholes-" + v.String(), Arrays: []*lang.Array{opt, out}, Body: []lang.Stmt{loop}}
+}
+
+// pack lays out the canonical inputs per version.
+func (BlackScholes) pack(in *bsInputs, soa bool) *vm.Array {
+	n := len(in.s)
+	a := newArr("opt", n*5)
+	fields := [][]float64{in.s, in.k, in.t, in.r, in.v}
+	for i := 0; i < n; i++ {
+		for f := 0; f < 5; f++ {
+			if soa {
+				a.Data[f*n+i] = fields[f][i]
+			} else {
+				a.Data[i*5+f] = fields[f][i]
+			}
+		}
+	}
+	return a
+}
+
+// Prepare implements Benchmark.
+func (b BlackScholes) Prepare(v Version, m *machine.Machine, n int) (*Instance, error) {
+	in := bsGen(n)
+	golden := bsRef(in)
+	soa := v >= Algo
+	arrays := map[string]*vm.Array{
+		"opt": b.pack(in, soa),
+		"out": newArr("out", n),
+	}
+	check := func() error {
+		return checkClose("blackscholes/"+v.String(), arrays["out"].Data, golden, 1e-9)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, n)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, n, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, n), n, arrays, check)
+}
+
+// ninja is the hand-written VM version: SoA loads, FMA-chained polynomial,
+// reciprocal instead of divide, rsqrt-free (sqrt appears once and is
+// replaced by rsqrt*t), fully branchless, unrolled 4x.
+func (b BlackScholes) ninja(m *machine.Machine, n int) (*vm.Prog, error) {
+	bd := vm.NewBuilder("blackscholes-ninja")
+	opt := bd.Array("opt", 4)
+	out := bd.Array("out", 4)
+
+	one := bd.Const(1)
+	half := bd.Const(0.5)
+	negHalf := bd.Const(-0.5)
+	kcnd := bd.Const(cndK)
+	a1 := bd.Const(cndA1)
+	a2 := bd.Const(cndA2)
+	a3 := bd.Const(cndA3)
+	a4 := bd.Const(cndA4)
+	a5 := bd.Const(cndA5)
+	isq := bd.Const(invSqrt)
+	nf := bd.Const(float64(n))
+	zero := bd.Const(0)
+
+	i := bd.ParVecLoop(0, int64(n))
+	bd.SetUnroll(4)
+
+	// SoA field bases: field f at f*n + i.
+	fieldAt := func(f int) int {
+		off := bd.ScalarAddr2(vm.OpMul, bd.Const(float64(f)), nf)
+		idx := bd.ScalarAddr2(vm.OpAdd, i, off)
+		return bd.Load(opt, idx, 1)
+	}
+	s := fieldAt(0)
+	k := fieldAt(1)
+	t := fieldAt(2)
+	r := fieldAt(3)
+	v := fieldAt(4)
+
+	// sq = t * rsqrt(t)  (sqrt via reciprocal-sqrt, the ninja idiom)
+	rsq := bd.Op1(vm.OpRsqrt, t)
+	sq := bd.Op2(vm.OpMul, t, rsq)
+	vsq := bd.Op2(vm.OpMul, v, sq)
+	// d1 = (log(s*rcp(k)) + (r + 0.5 v^2) t) * rcp(v sq)
+	lsk := bd.Op1(vm.OpLog, bd.Op2(vm.OpMul, s, bd.Op1(vm.OpRcp, k)))
+	v2h := bd.Op2(vm.OpMul, bd.Op2(vm.OpMul, v, v), half)
+	numr := bd.FMA(bd.Op2(vm.OpAdd, r, v2h), t, lsk)
+	d1 := bd.Op2(vm.OpMul, numr, bd.Op1(vm.OpRcp, vsq))
+	d2 := bd.Op2(vm.OpSub, d1, vsq)
+
+	cnd := func(d int) int {
+		l := bd.Op1(vm.OpAbs, d)
+		k1 := bd.Op1(vm.OpRcp, bd.FMA(kcnd, l, one))
+		p := bd.FMA(k1, a5, a4)
+		p = bd.FMA(k1, p, a3)
+		p = bd.FMA(k1, p, a2)
+		p = bd.FMA(k1, p, a1)
+		p = bd.Op2(vm.OpMul, p, k1)
+		e := bd.Op1(vm.OpExp, bd.Op2(vm.OpMul, negHalf, bd.Op2(vm.OpMul, l, l)))
+		w := bd.Op2(vm.OpSub, one, bd.Op2(vm.OpMul, bd.Op2(vm.OpMul, isq, e), p))
+		neg := bd.Op2(vm.OpCmpLT, d, zero)
+		return bd.Blend(bd.Op2(vm.OpSub, one, w), w, neg)
+	}
+	w1 := cnd(d1)
+	w2 := cnd(d2)
+	disc := bd.Op1(vm.OpExp, bd.Op2(vm.OpMul, bd.Op1(vm.OpNeg, r), t))
+	call := bd.Op2(vm.OpSub, bd.Op2(vm.OpMul, s, w1),
+		bd.Op2(vm.OpMul, bd.Op2(vm.OpMul, k, disc), w2))
+	bd.Store(out, call, i, 1)
+	bd.End()
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("blackscholes ninja: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,256 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// ComplexConv computes a complex-valued 1D FIR convolution. The naive
+// version stores complex numbers interleaved (AoS re/im), which turns
+// vector loads into strided shuffles; the algorithmic change is the
+// classic split-complex (SoA) layout plus blocking the output loop so the
+// filter stays in cache.
+type ComplexConv struct{}
+
+const (
+	ccTaps  = 32 // complex filter length
+	ccBlock = 64 // output block for the Algo version
+)
+
+func init() { register(ComplexConv{}) }
+
+// Name implements Benchmark.
+func (ComplexConv) Name() string { return "complexconv" }
+
+// Description implements Benchmark.
+func (ComplexConv) Description() string { return "complex 1D FIR convolution (32 taps)" }
+
+// Domain implements Benchmark.
+func (ComplexConv) Domain() string { return "signal processing" }
+
+// Character implements Benchmark.
+func (ComplexConv) Character() string { return "compute-bound, layout-sensitive" }
+
+// DefaultN implements Benchmark: number of output samples.
+func (ComplexConv) DefaultN() int { return 1 << 15 }
+
+// TestN implements Benchmark.
+func (ComplexConv) TestN() int { return 1 << 9 }
+
+type ccInputs struct {
+	sigRe, sigIm []float64 // length n+taps
+	fltRe, fltIm []float64 // length taps
+}
+
+func ccGen(n int) *ccInputs {
+	g := rng(9317)
+	in := &ccInputs{
+		sigRe: make([]float64, n+ccTaps), sigIm: make([]float64, n+ccTaps),
+		fltRe: make([]float64, ccTaps), fltIm: make([]float64, ccTaps),
+	}
+	for i := range in.sigRe {
+		in.sigRe[i] = g.Float64()*2 - 1
+		in.sigIm[i] = g.Float64()*2 - 1
+	}
+	for i := range in.fltRe {
+		in.fltRe[i] = g.Float64()*2 - 1
+		in.fltIm[i] = g.Float64()*2 - 1
+	}
+	return in
+}
+
+func ccRef(in *ccInputs, n int) []float64 {
+	out := make([]float64, n*2)
+	for i := 0; i < n; i++ {
+		var re, im float64
+		for k := 0; k < ccTaps; k++ {
+			sr, si := in.sigRe[i+k], in.sigIm[i+k]
+			fr, fi := in.fltRe[k], in.fltIm[k]
+			re += sr*fr - si*fi
+			im += sr*fi + si*fr
+		}
+		out[i*2] = re
+		out[i*2+1] = im
+	}
+	return out
+}
+
+// source builds the kernel. Naive keeps complex numbers interleaved and
+// the tap loop innermost; Algo splits re/im planes and blocks outputs so
+// the inner loop runs unit-stride over outputs.
+func (b ComplexConv) source(v Version, n int) *lang.Kernel {
+	soa := v >= Algo
+	sig := &lang.Array{Name: "sig", Elem: lang.F32, Len: n + ccTaps, Fields: 2, SoA: soa, Restrict: v >= Algo}
+	flt := &lang.Array{Name: "flt", Elem: lang.F32, Len: ccTaps, Fields: 2, SoA: soa, Restrict: v >= Algo}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: n, Fields: 2, SoA: soa, Restrict: v >= Algo}
+
+	if v < Algo {
+		inner := lang.For{Var: "k", Lo: num(0), Hi: num(ccTaps),
+			Simd: v >= Pragma, Unroll: 4,
+			Body: []lang.Stmt{
+				let("sr", atf(sig, add(vr("i"), vr("k")), 0)),
+				let("si", atf(sig, add(vr("i"), vr("k")), 1)),
+				let("fr", atf(flt, vr("k"), 0)),
+				let("fi", atf(flt, vr("k"), 1)),
+				let("re", add(vr("re"), sub(mul(vr("sr"), vr("fr")), mul(vr("si"), vr("fi"))))),
+				let("im", add(vr("im"), add(mul(vr("sr"), vr("fi")), mul(vr("si"), vr("fr"))))),
+			}}
+		outer := lang.For{Var: "i", Lo: num(0), Hi: num(float64(n)),
+			Parallel: v >= Pragma,
+			Body: []lang.Stmt{
+				let("re", num(0)),
+				let("im", num(0)),
+				inner,
+				set(latf(out, vr("i"), 0), vr("re")),
+				set(latf(out, vr("i"), 1), vr("im")),
+			}}
+		return &lang.Kernel{Name: "complexconv-" + v.String(),
+			Arrays: []*lang.Array{sig, flt, out}, Body: []lang.Stmt{outer}}
+	}
+
+	// Algo: interchange — taps middle, outputs innermost and vectorized;
+	// outputs blocked so the accumulation in `out` stays cached.
+	blocks := (n + ccBlock - 1) / ccBlock
+	init := lang.For{Var: "i", Lo: vr("lo"), Hi: vr("hi"), Simd: true, Body: []lang.Stmt{
+		set(latf(out, vr("i"), 0), num(0)),
+		set(latf(out, vr("i"), 1), num(0)),
+	}}
+	inner := lang.For{Var: "i", Lo: vr("lo"), Hi: vr("hi"), Simd: true, Unroll: 2, Body: []lang.Stmt{
+		let("sr", atf(sig, add(vr("i"), vr("k")), 0)),
+		let("si", atf(sig, add(vr("i"), vr("k")), 1)),
+		set(latf(out, vr("i"), 0),
+			add(atf(out, vr("i"), 0), sub(mul(vr("sr"), vr("fr")), mul(vr("si"), vr("fi"))))),
+		set(latf(out, vr("i"), 1),
+			add(atf(out, vr("i"), 1), add(mul(vr("sr"), vr("fi")), mul(vr("si"), vr("fr"))))),
+	}}
+	kLoop := lang.For{Var: "k", Lo: num(0), Hi: num(ccTaps), Body: []lang.Stmt{
+		let("fr", atf(flt, vr("k"), 0)),
+		let("fi", atf(flt, vr("k"), 1)),
+		inner,
+	}}
+	blockLoop := lang.For{Var: "bb", Lo: num(0), Hi: num(float64(blocks)),
+		Parallel: true,
+		Body: []lang.Stmt{
+			let("lo", mul(vr("bb"), num(ccBlock))),
+			let("hi", minf(add(vr("lo"), num(ccBlock)), num(float64(n)))),
+			init,
+			kLoop,
+		}}
+	return &lang.Kernel{Name: "complexconv-" + v.String(),
+		Arrays: []*lang.Array{sig, flt, out}, Body: []lang.Stmt{blockLoop}}
+}
+
+func packComplex(name string, re, im []float64, soa bool) *vm.Array {
+	n := len(re)
+	a := newArr(name, n*2)
+	for i := 0; i < n; i++ {
+		if soa {
+			a.Data[i] = re[i]
+			a.Data[n+i] = im[i]
+		} else {
+			a.Data[i*2] = re[i]
+			a.Data[i*2+1] = im[i]
+		}
+	}
+	return a
+}
+
+func unpackComplex(a *vm.Array, n int, soa bool) []float64 {
+	out := make([]float64, n*2)
+	for i := 0; i < n; i++ {
+		if soa {
+			out[i*2] = a.Data[i]
+			out[i*2+1] = a.Data[n+i]
+		} else {
+			out[i*2] = a.Data[i*2]
+			out[i*2+1] = a.Data[i*2+1]
+		}
+	}
+	return out
+}
+
+// Prepare implements Benchmark.
+func (b ComplexConv) Prepare(v Version, m *machine.Machine, n int) (*Instance, error) {
+	in := ccGen(n)
+	golden := ccRef(in, n)
+	soa := v >= Algo
+	arrays := map[string]*vm.Array{
+		"sig": packComplex("sig", in.sigRe, in.sigIm, soa),
+		"flt": packComplex("flt", in.fltRe, in.fltIm, soa),
+		"out": newArr("out", n*2),
+	}
+	check := func() error {
+		got := unpackComplex(arrays["out"], n, soa)
+		return checkClose("complexconv/"+v.String(), got, golden, 1e-9)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, n)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, n, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, n), n, arrays, check)
+}
+
+// ninja is the hand-written split-complex version: outputs vectorized with
+// the filter tap broadcast once per k, 4x unrolled, FMA forms.
+func (b ComplexConv) ninja(m *machine.Machine, n int) (*vm.Prog, error) {
+	bd := vm.NewBuilder("complexconv-ninja")
+	sig := bd.Array("sig", 4)
+	flt := bd.Array("flt", 4)
+	out := bd.Array("out", 4)
+	sigLen := bd.Const(float64(n + ccTaps))
+	outLen := bd.Const(float64(n))
+	tapsLen := bd.Const(float64(ccTaps))
+
+	W := int64(m.Lanes(4))
+	blocks := (int64(n) + ccBlock - 1) / ccBlock
+	bb := bd.ParLoop(0, blocks)
+	blockC := bd.Const(ccBlock)
+	lo := bd.ScalarAddr2(vm.OpMul, bb, blockC)
+
+	// Zero the block's accumulators.
+	zero := bd.Const(0)
+	zi := bd.VecLoop(0, ccBlock)
+	zidx := bd.ScalarAddr2(vm.OpAdd, lo, zi)
+	bd.Store(out, zero, zidx, 1)
+	zidx2 := bd.ScalarAddr2(vm.OpAdd, zidx, outLen)
+	bd.Store(out, zero, zidx2, 1)
+	bd.End()
+
+	k := bd.Loop(0, ccTaps)
+	fr := bd.Broadcast(bd.LoadScalar(flt, k))
+	fkb := bd.ScalarAddr2(vm.OpAdd, k, tapsLen)
+	fi := bd.Broadcast(bd.LoadScalar(flt, fkb))
+	i := bd.VecLoop(0, ccBlock)
+	bd.SetUnroll(4)
+	oidx := bd.ScalarAddr2(vm.OpAdd, lo, i)
+	sidx := bd.ScalarAddr2(vm.OpAdd, oidx, k)
+	sr := bd.Load(sig, sidx, 1)
+	siidx := bd.ScalarAddr2(vm.OpAdd, sidx, sigLen)
+	si := bd.Load(sig, siidx, 1)
+	re := bd.Load(out, oidx, 1)
+	re = bd.FMA(sr, fr, re)
+	nfi := bd.Op1(vm.OpNeg, fi)
+	re = bd.FMA(si, nfi, re)
+	bd.Store(out, re, oidx, 1)
+	oim := bd.ScalarAddr2(vm.OpAdd, oidx, outLen)
+	im := bd.Load(out, oim, 1)
+	im = bd.FMA(sr, fi, im)
+	im = bd.FMA(si, fr, im)
+	bd.Store(out, im, oim, 1)
+	bd.End()
+	bd.End()
+	bd.End()
+	_ = W
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("complexconv ninja: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,221 @@
+// Package kernels implements the paper's throughput-computing benchmark
+// suite. Each benchmark provides the full "effort ladder" of the study:
+//
+//	Naive    — serial scalar code as a domain programmer would write it
+//	AutoVec  — the same source through the auto-vectorizing compiler
+//	Pragma   — the same source plus low-effort annotations (#pragma simd,
+//	           parallel for), threaded and vectorized where asserted
+//	Algo     — the paper's well-known algorithmic changes (AoS→SoA,
+//	           blocking, vectorizing across an outer dimension, branchless
+//	           restructuring), still compiled from source
+//	Ninja    — hand-written VM code, the performance ceiling (the paper's
+//	           hand-tuned intrinsics code)
+//
+// Every version is executed functionally and validated against a pure-Go
+// reference implementation.
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ninjagap/internal/compiler"
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// Version identifies a rung of the effort ladder.
+type Version int
+
+// The effort ladder.
+const (
+	Naive Version = iota
+	AutoVec
+	Pragma
+	Algo
+	Ninja
+	NumVersions
+)
+
+var versionNames = [...]string{"naive", "autovec", "pragma", "algo", "ninja"}
+
+// String names the version.
+func (v Version) String() string {
+	if v < 0 || int(v) >= len(versionNames) {
+		return fmt.Sprintf("version(%d)", int(v))
+	}
+	return versionNames[v]
+}
+
+// Versions lists the ladder in order.
+func Versions() []Version { return []Version{Naive, AutoVec, Pragma, Algo, Ninja} }
+
+// ParseVersion resolves a version name.
+func ParseVersion(s string) (Version, error) {
+	for i, n := range versionNames {
+		if n == s {
+			return Version(i), nil
+		}
+	}
+	return 0, fmt.Errorf("kernels: unknown version %q", s)
+}
+
+// Serial reports whether a version runs single-threaded by the paper's
+// definition (the Ninja gap baseline is naive *serial* code).
+func (v Version) Serial() bool { return v == Naive || v == AutoVec }
+
+// Instance is a prepared, runnable benchmark: a VM program with bound
+// input arrays and a validator.
+type Instance struct {
+	Bench   string
+	Version Version
+	N       int
+	Prog    *vm.Prog
+	Arrays  map[string]*vm.Array
+	// Check validates the outputs against the golden reference; call it
+	// after executing Prog.
+	Check func() error
+	// Report is the compiler's vectorization report (nil for Ninja).
+	Report *compiler.Report
+	// SourceStmts counts source statements (Ninja: VM instructions), the
+	// programming-effort proxy.
+	SourceStmts int
+}
+
+// Benchmark is one suite member.
+type Benchmark interface {
+	// Name is the benchmark's short identifier.
+	Name() string
+	// Description says what the kernel computes.
+	Description() string
+	// Domain is the application area (per the paper's Table 1).
+	Domain() string
+	// Character summarizes the performance character (compute-bound,
+	// bandwidth-bound, irregular...).
+	Character() string
+	// DefaultN is the evaluation problem size (kernel-specific meaning).
+	DefaultN() int
+	// TestN is a reduced size for unit tests.
+	TestN() int
+	// Prepare builds a runnable instance of one version at one size on
+	// one machine. The same seed always produces the same inputs.
+	Prepare(v Version, m *machine.Machine, n int) (*Instance, error)
+}
+
+// suiteOrder fixes the paper's presentation order.
+var suiteOrder = []string{
+	"nbody", "backprojection", "complexconv", "blackscholes", "stencil",
+	"lbm", "libor", "treesearch", "mergesort", "conv2d", "volumerender",
+}
+
+var registry = map[string]Benchmark{}
+
+// register adds a suite member; each kernel file calls it from init.
+func register(b Benchmark) { registry[b.Name()] = b }
+
+func init() { register(BlackScholes{}) }
+
+// All returns the registered suite in the paper's presentation order.
+func All() []Benchmark {
+	out := make([]Benchmark, 0, len(registry))
+	for _, name := range suiteOrder {
+		if b, ok := registry[name]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName finds a suite member.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown benchmark %q", name)
+}
+
+// ---- shared helpers ----
+
+// optionsFor maps a version to its compiler options.
+func optionsFor(v Version) compiler.Options {
+	switch v {
+	case Naive:
+		return compiler.NaiveOptions()
+	case AutoVec:
+		return compiler.AutoVecOptions()
+	default:
+		return compiler.PragmaOptions()
+	}
+}
+
+// compileInstance compiles a source kernel for a version and wraps it.
+func compileInstance(b Benchmark, v Version, src *lang.Kernel, n int,
+	arrays map[string]*vm.Array, check func() error) (*Instance, error) {
+	res, err := compiler.Compile(src, optionsFor(v))
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", b.Name(), v, err)
+	}
+	return &Instance{
+		Bench:       b.Name(),
+		Version:     v,
+		N:           n,
+		Prog:        res.Prog,
+		Arrays:      arrays,
+		Check:       check,
+		Report:      res.Report,
+		SourceStmts: lang.CountStmts(src.Body),
+	}, nil
+}
+
+// ninjaInstance wraps a hand-written VM program.
+func ninjaInstance(b Benchmark, n int, p *vm.Prog,
+	arrays map[string]*vm.Array, check func() error) *Instance {
+	return &Instance{
+		Bench:       b.Name(),
+		Version:     Ninja,
+		N:           n,
+		Prog:        p,
+		Arrays:      arrays,
+		Check:       check,
+		SourceStmts: p.CountInstrs(),
+	}
+}
+
+// rng returns the deterministic generator all input builders use.
+func rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// newArr allocates a float32-addressed array.
+func newArr(name string, n int) *vm.Array { return vm.NewArray(name, 4, n) }
+
+// checkClose compares an output array against a golden slice with relative
+// tolerance (vectorized reductions reassociate).
+func checkClose(what string, got []float64, want []float64, tol float64) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d vs golden %d", what, len(got), len(want))
+	}
+	worst, worstIdx := 0.0, -1
+	for i := range got {
+		d := math.Abs(got[i] - want[i])
+		s := math.Max(math.Abs(got[i]), math.Abs(want[i]))
+		rel := d
+		if s > 1 {
+			rel = d / s
+		}
+		if rel > worst {
+			worst, worstIdx = rel, i
+		}
+	}
+	if worst > tol {
+		return fmt.Errorf("%s: element %d differs: got %g want %g (rel %.3g > tol %.3g)",
+			what, worstIdx, got[worstIdx], want[worstIdx], worst, tol)
+	}
+	return nil
+}
+
+// defaultTol is the relative tolerance for kernels whose vectorization
+// only reassociates sums.
+const defaultTol = 1e-9

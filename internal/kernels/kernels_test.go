@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"testing"
+
+	"ninjagap/internal/exec"
+	"ninjagap/internal/machine"
+)
+
+// runInstance executes a prepared instance with the version's canonical
+// thread count on the given machine.
+func runInstance(t *testing.T, inst *Instance, m *machine.Machine) *exec.Result {
+	t.Helper()
+	threads := m.HWThreads()
+	if inst.Version.Serial() {
+		threads = 1
+	}
+	r, err := exec.Run(inst.Prog, inst.Arrays, m, exec.Options{Threads: threads})
+	if err != nil {
+		t.Fatalf("%s/%s: run failed: %v", inst.Bench, inst.Version, err)
+	}
+	return r
+}
+
+// TestAllVersionsProduceCorrectResults is the suite-wide golden check:
+// every version of every benchmark must match its pure-Go reference.
+func TestAllVersionsProduceCorrectResults(t *testing.T) {
+	m := machine.WestmereX980()
+	for _, b := range All() {
+		for _, v := range Versions() {
+			b, v := b, v
+			t.Run(b.Name()+"/"+v.String(), func(t *testing.T) {
+				t.Parallel()
+				inst, err := b.Prepare(v, m, b.TestN())
+				if err != nil {
+					t.Fatalf("prepare: %v", err)
+				}
+				runInstance(t, inst, m)
+				if err := inst.Check(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestAllVersionsCorrectOnMIC repeats the golden check on the manycore
+// machine (16-wide SIMD exercises tails and masks differently).
+func TestAllVersionsCorrectOnMIC(t *testing.T) {
+	m := machine.KnightsFerry()
+	for _, b := range All() {
+		for _, v := range []Version{Naive, Algo, Ninja} {
+			b, v := b, v
+			t.Run(b.Name()+"/"+v.String(), func(t *testing.T) {
+				t.Parallel()
+				inst, err := b.Prepare(v, m, b.TestN())
+				if err != nil {
+					t.Fatalf("prepare: %v", err)
+				}
+				runInstance(t, inst, m)
+				if err := inst.Check(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestNinjaIsFastest checks the ladder ordering at test sizes: ninja must
+// not lose to naive, and generally each rung should not be slower than the
+// naive baseline.
+func TestNinjaIsFastest(t *testing.T) {
+	m := machine.WestmereX980()
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			t.Parallel()
+			times := map[Version]float64{}
+			for _, v := range Versions() {
+				inst, err := b.Prepare(v, m, b.TestN())
+				if err != nil {
+					t.Fatalf("prepare %s: %v", v, err)
+				}
+				r := runInstance(t, inst, m)
+				times[v] = r.Seconds
+			}
+			if times[Ninja] > times[Naive] {
+				t.Errorf("ninja (%.3g s) slower than naive (%.3g s)", times[Ninja], times[Naive])
+			}
+			// Ninja should be the floor up to small modeling slack.
+			for _, v := range []Version{AutoVec, Pragma, Algo} {
+				if times[Ninja] > times[v]*1.15 {
+					t.Errorf("ninja (%.3g s) slower than %s (%.3g s)", times[Ninja], v, times[v])
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(All()) != len(registry) {
+		t.Errorf("suiteOrder covers %d of %d registered benchmarks", len(All()), len(registry))
+	}
+	for _, b := range All() {
+		if b.Description() == "" || b.Domain() == "" || b.Character() == "" {
+			t.Errorf("%s: missing metadata", b.Name())
+		}
+		if b.TestN() >= b.DefaultN() {
+			t.Errorf("%s: TestN %d not smaller than DefaultN %d", b.Name(), b.TestN(), b.DefaultN())
+		}
+	}
+	if _, err := ByName("blackscholes"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestVersionParsing(t *testing.T) {
+	for _, v := range Versions() {
+		got, err := ParseVersion(v.String())
+		if err != nil || got != v {
+			t.Errorf("ParseVersion(%s) = %v, %v", v, got, err)
+		}
+	}
+	if _, err := ParseVersion("zzz"); err == nil {
+		t.Error("ParseVersion(zzz) should fail")
+	}
+	if !Naive.Serial() || !AutoVec.Serial() || Pragma.Serial() || Ninja.Serial() {
+		t.Error("Serial() classification wrong")
+	}
+	if Version(99).String() == "" {
+		t.Error("out-of-range version should stringify")
+	}
+}

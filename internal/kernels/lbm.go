@@ -1,0 +1,305 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// LBM performs one collision-and-streaming timestep of a D2Q9 lattice
+// Boltzmann fluid solver. The naive version keeps the nine distribution
+// values of a cell together (AoS), which turns every vector access into a
+// stride-9 gather/scatter; the algorithmic change is the standard SoA
+// ("structure of planes") conversion. At scale the kernel is bandwidth
+// bound, so its Ninja gap is among the smallest in the suite — the paper's
+// point about streaming kernels.
+type LBM struct{}
+
+const (
+	lbmQ     = 9
+	lbmOmega = 0.8
+)
+
+// D2Q9 lattice vectors and weights.
+var (
+	lbmCx = [lbmQ]float64{0, 1, 0, -1, 0, 1, -1, -1, 1}
+	lbmCy = [lbmQ]float64{0, 0, 1, 0, -1, 1, 1, -1, -1}
+	lbmW  = [lbmQ]float64{4.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9, 1.0 / 9,
+		1.0 / 36, 1.0 / 36, 1.0 / 36, 1.0 / 36}
+)
+
+func init() { register(LBM{}) }
+
+// Name implements Benchmark.
+func (LBM) Name() string { return "lbm" }
+
+// Description implements Benchmark.
+func (LBM) Description() string { return "D2Q9 lattice Boltzmann collision + streaming step" }
+
+// Domain implements Benchmark.
+func (LBM) Domain() string { return "fluid dynamics" }
+
+// Character implements Benchmark.
+func (LBM) Character() string { return "bandwidth-bound, layout-sensitive streaming" }
+
+// DefaultN implements Benchmark: lattice dimension (grid is N x N).
+func (LBM) DefaultN() int { return 128 }
+
+// TestN implements Benchmark.
+func (LBM) TestN() int { return 24 }
+
+func lbmGen(d int) []float64 {
+	g := rng(6006)
+	f := make([]float64, d*d*lbmQ) // canonical AoS cell-major
+	for c := 0; c < d*d; c++ {
+		for q := 0; q < lbmQ; q++ {
+			f[c*lbmQ+q] = lbmW[q] * (1 + 0.1*(g.Float64()-0.5))
+		}
+	}
+	return f
+}
+
+// lbmRef computes one step into a fresh lattice (canonical AoS order).
+func lbmRef(f0 []float64, d int) []float64 {
+	f1 := make([]float64, len(f0))
+	for y := 1; y < d-1; y++ {
+		for x := 1; x < d-1; x++ {
+			c := y*d + x
+			rho := 0.0
+			ux, uy := 0.0, 0.0
+			for q := 0; q < lbmQ; q++ {
+				v := f0[c*lbmQ+q]
+				rho += v
+				ux += lbmCx[q] * v
+				uy += lbmCy[q] * v
+			}
+			ux /= rho
+			uy /= rho
+			usq := ux*ux + uy*uy
+			for q := 0; q < lbmQ; q++ {
+				cu := lbmCx[q]*ux + lbmCy[q]*uy
+				feq := lbmW[q] * rho * (1 + 3*cu + 4.5*cu*cu - 1.5*usq)
+				fnew := f0[c*lbmQ+q] - lbmOmega*(f0[c*lbmQ+q]-feq)
+				nc := (y+int(lbmCy[q]))*d + (x + int(lbmCx[q]))
+				f1[nc*lbmQ+q] = fnew
+			}
+		}
+	}
+	return f1
+}
+
+// source builds the kernel with the nine directions unrolled in source
+// (as LBM codes are written).
+func (b LBM) source(v Version, d int) *lang.Kernel {
+	soa := v >= Algo
+	n := d * d
+	f0 := &lang.Array{Name: "f0", Elem: lang.F32, Len: n, Fields: lbmQ, SoA: soa, Restrict: v >= Algo}
+	f1 := &lang.Array{Name: "f1", Elem: lang.F32, Len: n, Fields: lbmQ, SoA: soa, Restrict: v >= Algo}
+	df := float64(d)
+
+	body := []lang.Stmt{
+		let("c", add(mul(vr("y"), num(df)), vr("x"))),
+	}
+	// Load the nine distributions.
+	for q := 0; q < lbmQ; q++ {
+		body = append(body, let(fmt.Sprintf("v%d", q), atf(f0, vr("c"), q)))
+	}
+	// Moments.
+	rho := lang.Expr(vr("v0"))
+	for q := 1; q < lbmQ; q++ {
+		rho = add(rho, vr(fmt.Sprintf("v%d", q)))
+	}
+	body = append(body, let("rho", rho))
+	var uxE, uyE lang.Expr = num(0), num(0)
+	for q := 0; q < lbmQ; q++ {
+		if lbmCx[q] != 0 {
+			uxE = add(uxE, mul(num(lbmCx[q]), vr(fmt.Sprintf("v%d", q))))
+		}
+		if lbmCy[q] != 0 {
+			uyE = add(uyE, mul(num(lbmCy[q]), vr(fmt.Sprintf("v%d", q))))
+		}
+	}
+	body = append(body,
+		let("ux", div(uxE, vr("rho"))),
+		let("uy", div(uyE, vr("rho"))),
+		let("usq", add(mul(vr("ux"), vr("ux")), mul(vr("uy"), vr("uy")))),
+	)
+	// Collision + streaming, unrolled per direction.
+	for q := 0; q < lbmQ; q++ {
+		vq := vr(fmt.Sprintf("v%d", q))
+		cu := lang.Expr(num(0))
+		if lbmCx[q] != 0 && lbmCy[q] != 0 {
+			cu = add(mul(num(lbmCx[q]), vr("ux")), mul(num(lbmCy[q]), vr("uy")))
+		} else if lbmCx[q] != 0 {
+			cu = mul(num(lbmCx[q]), vr("ux"))
+		} else if lbmCy[q] != 0 {
+			cu = mul(num(lbmCy[q]), vr("uy"))
+		}
+		cuName := fmt.Sprintf("cu%d", q)
+		body = append(body, let(cuName, cu))
+		feq := mul(num(lbmW[q]), mul(vr("rho"),
+			add(add(num(1), mul(num(3), vr(cuName))),
+				sub(mul(num(4.5), mul(vr(cuName), vr(cuName))),
+					mul(num(1.5), vr("usq"))))))
+		fnName := fmt.Sprintf("fn%d", q)
+		body = append(body, let(fnName, sub(vq, mul(num(lbmOmega), sub(vq, feq)))))
+		// Stream to the neighbor cell.
+		nOff := int(lbmCy[q])*d + int(lbmCx[q])
+		body = append(body, set(latf(f1, add(vr("c"), num(float64(nOff))), q), vr(fnName)))
+	}
+
+	xLoop := lang.For{Var: "x", Lo: num(1), Hi: num(df - 1),
+		Simd: v >= Pragma, Unroll: 2, Body: body}
+	yLoop := lang.For{Var: "y", Lo: num(1), Hi: num(df - 1),
+		Parallel: v >= Pragma, Body: []lang.Stmt{xLoop}}
+	return &lang.Kernel{Name: "lbm-" + v.String(), Arrays: []*lang.Array{f0, f1}, Body: []lang.Stmt{yLoop}}
+}
+
+// packLBM converts canonical AoS to a version layout.
+func packLBM(name string, f []float64, cells int, soa bool) *vm.Array {
+	a := newArr(name, cells*lbmQ)
+	for c := 0; c < cells; c++ {
+		for q := 0; q < lbmQ; q++ {
+			if soa {
+				a.Data[q*cells+c] = f[c*lbmQ+q]
+			} else {
+				a.Data[c*lbmQ+q] = f[c*lbmQ+q]
+			}
+		}
+	}
+	return a
+}
+
+func unpackLBM(a *vm.Array, cells int, soa bool) []float64 {
+	out := make([]float64, cells*lbmQ)
+	for c := 0; c < cells; c++ {
+		for q := 0; q < lbmQ; q++ {
+			if soa {
+				out[c*lbmQ+q] = a.Data[q*cells+c]
+			} else {
+				out[c*lbmQ+q] = a.Data[c*lbmQ+q]
+			}
+		}
+	}
+	return out
+}
+
+// Prepare implements Benchmark.
+func (b LBM) Prepare(v Version, m *machine.Machine, d int) (*Instance, error) {
+	f0 := lbmGen(d)
+	golden := lbmRef(f0, d)
+	soa := v >= Algo
+	cells := d * d
+	arrays := map[string]*vm.Array{
+		"f0": packLBM("f0", f0, cells, soa),
+		"f1": newArr("f1", cells*lbmQ),
+	}
+	check := func() error {
+		got := unpackLBM(arrays["f1"], cells, soa)
+		return checkClose("lbm/"+v.String(), got, golden, 1e-9)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, d)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, d, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, d), d, arrays, check)
+}
+
+// ninja is the hand-written SoA version: unit-stride plane loads/stores,
+// reciprocal division, hoisted weights, 2x unroll.
+func (b LBM) ninja(m *machine.Machine, d int) (*vm.Prog, error) {
+	bd := vm.NewBuilder("lbm-ninja")
+	f0 := bd.Array("f0", 4)
+	f1 := bd.Array("f1", 4)
+	cells := float64(d * d)
+	df := float64(d)
+
+	var wReg, planeOff [lbmQ]int
+	for q := 0; q < lbmQ; q++ {
+		wReg[q] = bd.Const(lbmW[q])
+		planeOff[q] = bd.Const(float64(q) * cells)
+	}
+	dreg := bd.Const(df)
+	one := bd.Const(1)
+	three := bd.Const(3)
+	c45 := bd.Const(4.5)
+	c15 := bd.Const(1.5)
+	om := bd.Const(lbmOmega)
+
+	y := bd.ParLoop(1, int64(d-2))
+	row := bd.ScalarAddr2(vm.OpMul, y, dreg)
+	x := bd.VecLoop(1, int64(d-2))
+	bd.SetUnroll(2)
+	c := bd.ScalarAddr2(vm.OpAdd, row, x)
+
+	var v [lbmQ]int
+	for q := 0; q < lbmQ; q++ {
+		idx := bd.ScalarAddr2(vm.OpAdd, c, planeOff[q])
+		v[q] = bd.Load(f0, idx, 1)
+	}
+	rho := v[0]
+	for q := 1; q < lbmQ; q++ {
+		rho = bd.Op2(vm.OpAdd, rho, v[q])
+	}
+	// ux, uy via signed sums and a single reciprocal.
+	ux := bd.Op2(vm.OpSub, bd.Op2(vm.OpAdd, v[1], bd.Op2(vm.OpAdd, v[5], v[8])),
+		bd.Op2(vm.OpAdd, v[3], bd.Op2(vm.OpAdd, v[6], v[7])))
+	uy := bd.Op2(vm.OpSub, bd.Op2(vm.OpAdd, v[2], bd.Op2(vm.OpAdd, v[5], v[6])),
+		bd.Op2(vm.OpAdd, v[4], bd.Op2(vm.OpAdd, v[7], v[8])))
+	rrho := bd.Op1(vm.OpRcp, rho)
+	ux = bd.Op2(vm.OpMul, ux, rrho)
+	uy = bd.Op2(vm.OpMul, uy, rrho)
+	usq := bd.FMA(uy, uy, bd.Op2(vm.OpMul, ux, ux))
+	busq := bd.Op2(vm.OpMul, c15, usq)
+
+	for q := 0; q < lbmQ; q++ {
+		var cu int
+		switch {
+		case lbmCx[q] == 0 && lbmCy[q] == 0:
+			cu = bd.Const(0)
+		case lbmCy[q] == 0:
+			cu = ux
+			if lbmCx[q] < 0 {
+				cu = bd.Op1(vm.OpNeg, ux)
+			}
+		case lbmCx[q] == 0:
+			cu = uy
+			if lbmCy[q] < 0 {
+				cu = bd.Op1(vm.OpNeg, uy)
+			}
+		default:
+			if lbmCx[q] > 0 {
+				cu = bd.Op2(vm.OpAdd, ux, uy)
+				if lbmCy[q] < 0 {
+					cu = bd.Op2(vm.OpSub, ux, uy)
+				}
+			} else {
+				cu = bd.Op2(vm.OpSub, uy, ux)
+				if lbmCy[q] < 0 {
+					cu = bd.Op1(vm.OpNeg, bd.Op2(vm.OpAdd, ux, uy))
+				}
+			}
+		}
+		t := bd.FMA(c45, bd.Op2(vm.OpMul, cu, cu), bd.Op2(vm.OpSub, bd.FMA(three, cu, one), busq))
+		feq := bd.Op2(vm.OpMul, bd.Op2(vm.OpMul, wReg[q], rho), t)
+		diff := bd.Op2(vm.OpSub, v[q], feq)
+		fnew := bd.Op2(vm.OpSub, v[q], bd.Op2(vm.OpMul, om, diff))
+		nOff := int(lbmCy[q])*d + int(lbmCx[q])
+		offReg := bd.Const(float64(nOff))
+		nIdx := bd.ScalarAddr2(vm.OpAdd, bd.ScalarAddr2(vm.OpAdd, c, offReg), planeOff[q])
+		bd.Store(f1, fnew, nIdx, 1)
+	}
+	bd.End()
+	bd.End()
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("lbm ninja: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,313 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// Libor runs a Monte Carlo LIBOR market-model path simulation (the
+// Glasserman-style forward-rate evolution used by the LIBOR kernel of the
+// throughput suite). The inner maturity loop carries a prefix accumulation
+// — the drift term reads the running sum it just updated — so it can never
+// vectorize; the paper's algorithmic change is to vectorize *across paths*
+// instead, turning the accumulator into an independent per-path array.
+type Libor struct {
+	// nothing; sizes derive from N
+}
+
+const (
+	liborMat    = 15   // forward-rate maturities
+	liborDelta  = 0.25 // accrual period
+	liborLambda = 0.2  // flat volatility
+	liborBlock  = 64   // path block for the Algo version
+)
+
+func init() { register(Libor{}) }
+
+// Name implements Benchmark.
+func (Libor) Name() string { return "libor" }
+
+// Description implements Benchmark.
+func (Libor) Description() string {
+	return "Monte Carlo LIBOR market-model forward-rate simulation"
+}
+
+// Domain implements Benchmark.
+func (Libor) Domain() string { return "computational finance" }
+
+// Character implements Benchmark.
+func (Libor) Character() string { return "compute-bound, inner-loop recurrence, transcendental" }
+
+// DefaultN implements Benchmark: number of Monte Carlo paths.
+func (Libor) DefaultN() int { return 4096 }
+
+// TestN implements Benchmark.
+func (Libor) TestN() int { return 192 }
+
+type liborInputs struct {
+	l0 []float64 // initial forward rates [liborMat]
+	z  []float64 // normals, canonical path-major [path*liborMat + step]
+}
+
+func liborGen(paths int) *liborInputs {
+	g := rng(8181)
+	in := &liborInputs{
+		l0: make([]float64, liborMat),
+		z:  make([]float64, paths*liborMat),
+	}
+	for i := range in.l0 {
+		in.l0[i] = 0.04 + 0.005*float64(i%4)
+	}
+	for i := range in.z {
+		in.z[i] = g.NormFloat64()
+	}
+	return in
+}
+
+// liborStep advances one path's rates for timestep n (shared by the
+// reference).
+func liborRef(in *liborInputs, paths int) []float64 {
+	out := make([]float64, paths)
+	sqd := math.Sqrt(liborDelta)
+	l := make([]float64, liborMat)
+	for p := 0; p < paths; p++ {
+		copy(l, in.l0)
+		for n := 0; n < liborMat-1; n++ {
+			sqez := sqd * in.z[p*liborMat+n]
+			v := 0.0
+			for i := n + 1; i < liborMat; i++ {
+				con := liborDelta * l[i]
+				v += con * liborLambda / (1 + con)
+				l[i] *= math.Exp(liborLambda*v*liborDelta + liborLambda*(sqez-0.5*liborLambda*liborDelta))
+			}
+		}
+		s := 0.0
+		for i := 0; i < liborMat; i++ {
+			s += l[i]
+		}
+		out[p] = s
+	}
+	return out
+}
+
+// source builds the kernel. Naive/Pragma keep the path loop outer and the
+// recurrent maturity loop inner (paths-major L). Algo transposes the state
+// so the innermost loop runs across paths (maturity-major L), which the
+// compiler can vectorize.
+func (b Libor) source(v Version, paths int) *lang.Kernel {
+	pf := float64(paths)
+	lmat := &lang.Array{Name: "lmat", Elem: lang.F32, Len: paths * liborMat, Restrict: v >= Algo}
+	l0 := &lang.Array{Name: "l0", Elem: lang.F32, Len: liborMat, Restrict: v >= Algo}
+	z := &lang.Array{Name: "z", Elem: lang.F32, Len: paths * liborMat, Restrict: v >= Algo}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: paths, Restrict: v >= Algo}
+	sqd := math.Sqrt(liborDelta)
+	drift := liborLambda * -0.5 * liborLambda * liborDelta
+
+	if v < Algo {
+		// Path-major: lmat[p*Mat + i].
+		idx := func(i lang.Expr) lang.Expr { return add(mul(vr("p"), num(liborMat)), i) }
+		init := lang.For{Var: "i", Lo: num(0), Hi: num(liborMat), Body: []lang.Stmt{
+			set(lat(lmat, idx(vr("i"))), at(l0, vr("i"))),
+		}}
+		inner := lang.For{Var: "i", Lo: add(vr("n"), num(1)), Hi: num(liborMat), Body: []lang.Stmt{
+			let("li", at(lmat, idx(vr("i")))),
+			let("con", mul(num(liborDelta), vr("li"))),
+			let("vdrift", add(vr("vdrift"), div(mul(vr("con"), num(liborLambda)), add(num(1), vr("con"))))),
+			set(lat(lmat, idx(vr("i"))),
+				mul(vr("li"), exp(add(mul(num(liborLambda*liborDelta), vr("vdrift")),
+					add(mul(num(liborLambda), vr("sqez")), num(drift)))))),
+		}}
+		steps := lang.For{Var: "n", Lo: num(0), Hi: num(liborMat - 1), Body: []lang.Stmt{
+			let("sqez", mul(num(sqd), at(z, add(mul(vr("p"), num(liborMat)), vr("n"))))),
+			let("vdrift", num(0)),
+			inner,
+		}}
+		payoff := lang.For{Var: "i", Lo: num(0), Hi: num(liborMat), Body: []lang.Stmt{
+			let("s", add(vr("s"), at(lmat, idx(vr("i"))))),
+		}}
+		pLoop := lang.For{Var: "p", Lo: num(0), Hi: num(pf),
+			Parallel: v >= Pragma,
+			Body: []lang.Stmt{
+				init,
+				steps,
+				let("s", num(0)),
+				payoff,
+				set(lat(out, vr("p")), vr("s")),
+			}}
+		return &lang.Kernel{Name: "libor-" + v.String(),
+			Arrays: []*lang.Array{lmat, l0, z, out}, Body: []lang.Stmt{pLoop}}
+	}
+
+	// Algo: maturity-major lmat[i*paths + p], z[n*paths + p]; the drift
+	// accumulator becomes a per-path array vacc[paths]; innermost loops
+	// run over a block of paths and vectorize.
+	vacc := &lang.Array{Name: "vacc", Elem: lang.F32, Len: paths, Restrict: true}
+	blocks := (paths + liborBlock - 1) / liborBlock
+	pIdx := func(i lang.Expr) lang.Expr { return add(mul(i, num(pf)), vr("p")) }
+	init := lang.For{Var: "i", Lo: num(0), Hi: num(liborMat), Body: []lang.Stmt{
+		lang.For{Var: "p", Lo: vr("plo"), Hi: vr("phi"), Simd: true, Body: []lang.Stmt{
+			set(lat(lmat, pIdx(vr("i"))), at(l0, vr("i"))),
+		}},
+	}}
+	inner := lang.For{Var: "i", Lo: add(vr("n"), num(1)), Hi: num(liborMat), Body: []lang.Stmt{
+		lang.For{Var: "p", Lo: vr("plo"), Hi: vr("phi"), Simd: true, Unroll: 2, Body: []lang.Stmt{
+			let("li", at(lmat, pIdx(vr("i")))),
+			let("con", mul(num(liborDelta), vr("li"))),
+			set(lat(vacc, vr("p")),
+				add(at(vacc, vr("p")), div(mul(vr("con"), num(liborLambda)), add(num(1), vr("con"))))),
+			let("sqez", mul(num(sqd), at(z, add(mul(vr("n"), num(pf)), vr("p"))))),
+			set(lat(lmat, pIdx(vr("i"))),
+				mul(vr("li"), exp(add(mul(num(liborLambda*liborDelta), at(vacc, vr("p"))),
+					add(mul(num(liborLambda), vr("sqez")), num(drift)))))),
+		}},
+	}}
+	zero := lang.For{Var: "p", Lo: vr("plo"), Hi: vr("phi"), Simd: true, Body: []lang.Stmt{
+		set(lat(vacc, vr("p")), num(0)),
+	}}
+	steps := lang.For{Var: "n", Lo: num(0), Hi: num(liborMat - 1), Body: []lang.Stmt{
+		zero,
+		inner,
+	}}
+	payoffZero := lang.For{Var: "p", Lo: vr("plo"), Hi: vr("phi"), Simd: true, Body: []lang.Stmt{
+		set(lat(out, vr("p")), num(0)),
+	}}
+	payoff := lang.For{Var: "i", Lo: num(0), Hi: num(liborMat), Body: []lang.Stmt{
+		lang.For{Var: "p", Lo: vr("plo"), Hi: vr("phi"), Simd: true, Body: []lang.Stmt{
+			set(lat(out, vr("p")), add(at(out, vr("p")), at(lmat, pIdx(vr("i"))))),
+		}},
+	}}
+	bLoop := lang.For{Var: "bb", Lo: num(0), Hi: num(float64(blocks)),
+		Parallel: true,
+		Body: []lang.Stmt{
+			let("plo", mul(vr("bb"), num(liborBlock))),
+			let("phi", minf(add(vr("plo"), num(liborBlock)), num(pf))),
+			init,
+			steps,
+			payoffZero,
+			payoff,
+		}}
+	return &lang.Kernel{Name: "libor-" + v.String(),
+		Arrays: []*lang.Array{lmat, l0, z, out, vacc}, Body: []lang.Stmt{bLoop}}
+}
+
+// packZ lays out the normals for a version: path-major (naive) or
+// step-major (algo/ninja).
+func packZ(z []float64, paths int, stepMajor bool) *vm.Array {
+	a := newArr("z", paths*liborMat)
+	for p := 0; p < paths; p++ {
+		for n := 0; n < liborMat; n++ {
+			if stepMajor {
+				a.Data[n*paths+p] = z[p*liborMat+n]
+			} else {
+				a.Data[p*liborMat+n] = z[p*liborMat+n]
+			}
+		}
+	}
+	return a
+}
+
+// Prepare implements Benchmark.
+func (b Libor) Prepare(v Version, m *machine.Machine, paths int) (*Instance, error) {
+	in := liborGen(paths)
+	golden := liborRef(in, paths)
+	stepMajor := v >= Algo
+	arrays := map[string]*vm.Array{
+		"lmat": newArr("lmat", paths*liborMat),
+		"l0":   newArr("l0", liborMat),
+		"z":    packZ(in.z, paths, stepMajor),
+		"out":  newArr("out", paths),
+	}
+	copy(arrays["l0"].Data, in.l0)
+	if v >= Algo {
+		arrays["vacc"] = newArr("vacc", paths)
+	}
+	check := func() error {
+		return checkClose("libor/"+v.String(), arrays["out"].Data, golden, 1e-7)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, paths)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, paths, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, paths), paths, arrays, check)
+}
+
+// ninja is the hand-written across-paths version: the drift accumulator
+// lives in a vector register (no vacc array traffic), rates stream
+// unit-stride, exponentials use the vector polynomial path.
+func (b Libor) ninja(m *machine.Machine, paths int) (*vm.Prog, error) {
+	bd := vm.NewBuilder("libor-ninja")
+	lmat := bd.Array("lmat", 4)
+	l0 := bd.Array("l0", 4)
+	zArr := bd.Array("z", 4)
+	out := bd.Array("out", 4)
+
+	pf := bd.Const(float64(paths))
+	delta := bd.Const(liborDelta)
+	lam := bd.Const(liborLambda)
+	lamDelta := bd.Const(liborLambda * liborDelta)
+	driftC := bd.Const(liborLambda * -0.5 * liborLambda * liborDelta)
+	sqd := bd.Const(math.Sqrt(liborDelta))
+	one := bd.Const(1)
+
+	W := int64(m.Lanes(4))
+	groups := int64(paths) / W
+	g := bd.ParLoop(0, groups)
+	wc := bd.Const(float64(W))
+	pbase := bd.ScalarAddr2(vm.OpMul, g, wc)
+
+	// init rates
+	ii := bd.Loop(0, liborMat)
+	lv := bd.Broadcast(bd.LoadScalar(l0, ii))
+	rowb := bd.ScalarAddr2(vm.OpMul, ii, pf)
+	dst := bd.ScalarAddr2(vm.OpAdd, rowb, pbase)
+	bd.Store(lmat, lv, dst, 1)
+	bd.End()
+
+	// evolve
+	n := bd.Loop(0, liborMat-1)
+	zidx := bd.ScalarAddr2(vm.OpAdd, bd.ScalarAddr2(vm.OpMul, n, pf), pbase)
+	zv := bd.Load(zArr, zidx, 1)
+	sqez := bd.Op2(vm.OpMul, sqd, zv)
+	stim := bd.FMA(lam, sqez, driftC)
+	vacc := bd.Reg()
+	bd.Emit(vm.Instr{Op: vm.OpConst, Dst: vacc, Imm: 0})
+	// i runs n+1..Mat-1: trip = Mat-1-n, offset n+1.
+	matm := bd.Const(liborMat - 1)
+	trip := bd.ScalarAddr2(vm.OpSub, matm, n)
+	i := bd.LoopDyn(0, trip)
+	iAbs := bd.ScalarAddr2(vm.OpAdd, bd.ScalarAddr2(vm.OpAdd, i, n), one)
+	lidx := bd.ScalarAddr2(vm.OpAdd, bd.ScalarAddr2(vm.OpMul, iAbs, pf), pbase)
+	li := bd.Load(lmat, lidx, 1)
+	con := bd.Op2(vm.OpMul, delta, li)
+	term := bd.Op2(vm.OpMul, bd.Op2(vm.OpMul, con, lam),
+		bd.Op1(vm.OpRcp, bd.Op2(vm.OpAdd, one, con)))
+	bd.Emit(vm.Instr{Op: vm.OpAdd, Dst: vacc, A: vacc, B: term, Carried: true})
+	ex := bd.Op1(vm.OpExp, bd.FMA(lamDelta, vacc, stim))
+	bd.Store(lmat, bd.Op2(vm.OpMul, li, ex), lidx, 1)
+	bd.End()
+	bd.End()
+
+	// payoff
+	acc := bd.Reg()
+	bd.Emit(vm.Instr{Op: vm.OpConst, Dst: acc, Imm: 0})
+	i2 := bd.Loop(0, liborMat)
+	lidx2 := bd.ScalarAddr2(vm.OpAdd, bd.ScalarAddr2(vm.OpMul, i2, pf), pbase)
+	lv2 := bd.Load(lmat, lidx2, 1)
+	bd.Emit(vm.Instr{Op: vm.OpAdd, Dst: acc, A: acc, B: lv2, Carried: true, Unroll: 4})
+	bd.End()
+	bd.Store(out, acc, pbase, 1)
+	bd.End()
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("libor ninja: %w", err)
+	}
+	return p, nil
+}

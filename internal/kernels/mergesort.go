@@ -1,0 +1,303 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// MergeSort sorts a key array with bottom-up merge sort. The naive merge
+// loop takes a data-dependent branch per element — the worst case for a
+// branch predictor — and neither vectorization nor pragmas apply. The
+// algorithmic change is the branchless (select-based) merge; the Ninja
+// version merges whole SIMD vectors at a time through an in-register
+// bitonic merge network, the classic hand-tuned SIMD sort.
+type MergeSort struct{}
+
+func init() { register(MergeSort{}) }
+
+// Name implements Benchmark.
+func (MergeSort) Name() string { return "mergesort" }
+
+// Description implements Benchmark.
+func (MergeSort) Description() string { return "bottom-up merge sort of a key array" }
+
+// Domain implements Benchmark.
+func (MergeSort) Domain() string { return "databases" }
+
+// Character implements Benchmark.
+func (MergeSort) Character() string { return "branch-bound, data-dependent control" }
+
+// DefaultN implements Benchmark: keys to sort (power of two).
+func (MergeSort) DefaultN() int { return 1 << 14 }
+
+// TestN implements Benchmark.
+func (MergeSort) TestN() int { return 1 << 9 }
+
+func msGen(n int) []float64 {
+	g := rng(7337)
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = g.Float64() * 1e9
+	}
+	return keys
+}
+
+// msPasses is the number of merge passes (log2 n).
+func msPasses(n int) int {
+	p := 0
+	for w := 1; w < n; w *= 2 {
+		p++
+	}
+	return p
+}
+
+// msFinal names the array holding the sorted result after all passes.
+func msFinal(n int) string {
+	if msPasses(n)%2 == 1 {
+		return "b"
+	}
+	return "a"
+}
+
+// mergeBody builds the statements of one merge (the while loop), branchy
+// or branchless. Locals i, j, k2 and the bounds mid/hi must be in scope.
+func mergeBody(src, dst *lang.Array, n int, branchy bool) lang.Stmt {
+	nm1 := num(float64(n - 1))
+	headI := at(src, minf(vr("i"), nm1))
+	headJ := at(src, minf(vr("j"), nm1))
+	takeL := or(ge(vr("j"), vr("hi")),
+		and(lt(vr("i"), vr("mid")), le(headI, headJ)))
+	var step []lang.Stmt
+	if branchy {
+		step = []lang.Stmt{
+			let("takeL", takeL),
+			lang.If{Cond: vr("takeL"), MissProb: 0.5,
+				Then: []lang.Stmt{
+					set(lat(dst, vr("k2")), at(src, vr("i"))),
+					let("i", add(vr("i"), num(1))),
+				},
+				Else: []lang.Stmt{
+					set(lat(dst, vr("k2")), at(src, vr("j"))),
+					let("j", add(vr("j"), num(1))),
+				},
+			},
+			let("k2", add(vr("k2"), num(1))),
+		}
+	} else {
+		step = []lang.Stmt{
+			let("takeL", takeL),
+			set(lat(dst, vr("k2")), sel(vr("takeL"), headI, headJ)),
+			let("i", add(vr("i"), vr("takeL"))),
+			let("j", add(vr("j"), sub(num(1), vr("takeL")))),
+			let("k2", add(vr("k2"), num(1))),
+		}
+	}
+	return lang.While{Cond: lt(vr("k2"), vr("hi")), MissProb: 0.02, Body: step}
+}
+
+// source builds one For per pass, ping-ponging between a and b.
+func (b MergeSort) source(v Version, n int) *lang.Kernel {
+	a := &lang.Array{Name: "a", Elem: lang.F32, Len: n, Restrict: v >= Algo}
+	bb := &lang.Array{Name: "b", Elem: lang.F32, Len: n, Restrict: v >= Algo}
+	branchy := v < Algo
+
+	var body []lang.Stmt
+	src, dst := a, bb
+	for w := 1; w < n; w *= 2 {
+		merges := n / (2 * w)
+		pass := lang.For{Var: "m", Lo: num(0), Hi: num(float64(merges)),
+			Parallel: v >= Pragma, Chunk: 1,
+			Body: []lang.Stmt{
+				let("lo", mul(vr("m"), num(float64(2*w)))),
+				let("mid", add(vr("lo"), num(float64(w)))),
+				let("hi", add(vr("lo"), num(float64(2*w)))),
+				let("i", vr("lo")),
+				let("j", vr("mid")),
+				let("k2", vr("lo")),
+				mergeBody(src, dst, n, branchy),
+			}}
+		body = append(body, pass)
+		src, dst = dst, src
+	}
+	return &lang.Kernel{Name: "mergesort-" + v.String(),
+		Arrays: []*lang.Array{a, bb}, Body: body}
+}
+
+// Prepare implements Benchmark.
+func (b MergeSort) Prepare(v Version, m *machine.Machine, n int) (*Instance, error) {
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("mergesort: n %d must be a power of two", n)
+	}
+	keys := msGen(n)
+	golden := append([]float64(nil), keys...)
+	sort.Float64s(golden)
+	arrays := map[string]*vm.Array{
+		"a": newArr("a", n),
+		"b": newArr("b", n),
+	}
+	copy(arrays["a"].Data, keys)
+	final := msFinal(n)
+	check := func() error {
+		return checkClose("mergesort/"+v.String(), arrays[final].Data, golden, 0)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, n)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, n, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, n), n, arrays, check)
+}
+
+// bitonicMasks precomputes, per exchange distance d, the 0/1 mask vector
+// whose lane i is (i & d) != 0, built from an iota at program start.
+func bitonicMasks(bd *vm.Builder, w int) map[int]int {
+	iota := bd.Iota(0)
+	masks := map[int]int{}
+	for d := w / 2; d >= 1; d /= 2 {
+		invd := bd.Const(1 / float64(d))
+		half := bd.Const(0.5)
+		t := bd.Op2(vm.OpMul, iota, invd)
+		t = bd.Op1(vm.OpFloor, t)
+		h := bd.Op1(vm.OpFloor, bd.Op2(vm.OpMul, t, half))
+		odd := bd.Op2(vm.OpSub, t, bd.Op2(vm.OpAdd, h, h))
+		masks[d] = odd
+	}
+	return masks
+}
+
+// bitonicMerge merges two sorted w-vectors (ascending) into a sorted
+// 2w-sequence returned as (low, high) registers.
+func bitonicMerge(bd *vm.Builder, w int, a, b int, masks map[int]int) (int, int) {
+	rev := make([]int, w)
+	for i := range rev {
+		rev[i] = w - 1 - i
+	}
+	bp := bd.Shuffle(b, rev)
+	lo := bd.Op2(vm.OpMin, a, bp)
+	hi := bd.Op2(vm.OpMax, a, bp)
+	clean := func(x int) int {
+		for d := w / 2; d >= 1; d /= 2 {
+			pat := make([]int, w)
+			for i := range pat {
+				pat[i] = i ^ d
+			}
+			t := bd.Shuffle(x, pat)
+			mn := bd.Op2(vm.OpMin, x, t)
+			mx := bd.Op2(vm.OpMax, x, t)
+			x = bd.Blend(mx, mn, masks[d])
+		}
+		return x
+	}
+	return clean(lo), clean(hi)
+}
+
+// ninja builds the SIMD merge sort: scalar branchless merges while runs
+// are narrower than the SIMD width, then vector merges that move one
+// sorted vector per step through the bitonic network, choosing the source
+// run by comparing the next heads.
+func (b MergeSort) ninja(m *machine.Machine, n int) (*vm.Prog, error) {
+	w := m.Lanes(4)
+	if n < 4*w {
+		return nil, fmt.Errorf("mergesort ninja: n %d too small for SIMD width %d", n, w)
+	}
+	bd := vm.NewBuilder("mergesort-ninja")
+	aArr := bd.Array("a", 4)
+	bArr := bd.Array("b", 4)
+	wreg := bd.Const(float64(w))
+	nm1 := bd.Const(float64(n - 1))
+	masks := bitonicMasks(bd, w)
+
+	src, dst := aArr, bArr
+	for width := 1; width < n; width *= 2 {
+		merges := int64(n / (2 * width))
+		mi := bd.ParLoop(0, merges)
+		bd.SetChunk(1)
+		w2 := bd.Const(float64(2 * width))
+		lo := bd.ScalarAddr2(vm.OpMul, mi, w2)
+		mid := bd.ScalarAddr2(vm.OpAdd, lo, bd.Const(float64(width)))
+		hi := bd.ScalarAddr2(vm.OpAdd, lo, w2)
+
+		if width < w {
+			// Scalar branchless merge for narrow runs.
+			i := bd.Reg()
+			bd.Emit(vm.Instr{Op: vm.OpCopy, Dst: i, A: lo, Scalar: true})
+			j := bd.Reg()
+			bd.Emit(vm.Instr{Op: vm.OpCopy, Dst: j, A: mid, Scalar: true})
+			k2 := bd.LoopDyn(0, w2)
+			kAbs := bd.ScalarAddr2(vm.OpAdd, lo, k2)
+			ci := bd.Scalar2(vm.OpMin, i, nm1)
+			cj := bd.Scalar2(vm.OpMin, j, nm1)
+			hI := bd.LoadScalar(src, ci)
+			hJ := bd.LoadScalar(src, cj)
+			jdone := bd.Scalar2(vm.OpCmpGE, j, hi)
+			iok := bd.Scalar2(vm.OpCmpLT, i, mid)
+			cmp := bd.Scalar2(vm.OpCmpLE, hI, hJ)
+			takeL := bd.Scalar2(vm.OpOrM, jdone, bd.Scalar2(vm.OpAndM, iok, cmp))
+			v := bd.Reg()
+			bd.Emit(vm.Instr{Op: vm.OpBlend, Dst: v, A: hI, B: hJ, C: takeL, Scalar: true})
+			bd.StoreScalar(dst, v, kAbs)
+			bd.Emit(vm.Instr{Op: vm.OpAdd, Dst: i, A: i, B: takeL, Scalar: true, Addr: true, Carried: true})
+			ntl := bd.Scalar1(vm.OpNotM, takeL)
+			bd.Emit(vm.Instr{Op: vm.OpAdd, Dst: j, A: j, B: ntl, Scalar: true, Addr: true, Carried: true})
+			bd.End()
+			bd.End()
+			src, dst = dst, src
+			continue
+		}
+
+		// Vector merge: T = 2*width/w vectors of output.
+		T := int64(2 * width / w)
+		i := bd.Reg()
+		bd.Emit(vm.Instr{Op: vm.OpCopy, Dst: i, A: lo, Scalar: true})
+		j := bd.Reg()
+		bd.Emit(vm.Instr{Op: vm.OpCopy, Dst: j, A: mid, Scalar: true})
+		k2 := bd.Reg()
+		bd.Emit(vm.Instr{Op: vm.OpCopy, Dst: k2, A: lo, Scalar: true})
+		acc := bd.Reg() // the carry vector ("A")
+
+		// pick loads the next vector from the run with the smaller head.
+		pick := func(into int) {
+			ci := bd.Scalar2(vm.OpMin, i, nm1)
+			cj := bd.Scalar2(vm.OpMin, j, nm1)
+			hI := bd.LoadScalar(src, ci)
+			hJ := bd.LoadScalar(src, cj)
+			jdone := bd.Scalar2(vm.OpCmpGE, j, hi)
+			iok := bd.Scalar2(vm.OpCmpLT, i, mid)
+			cmp := bd.Scalar2(vm.OpCmpLE, hI, hJ)
+			takeL := bd.Scalar2(vm.OpOrM, jdone, bd.Scalar2(vm.OpAndM, iok, cmp))
+			bd.If(takeL, 0.5)
+			bd.Emit(vm.Instr{Op: vm.OpLoad, Dst: into, A: i, Arr: src, Stride: 1})
+			bd.Emit(vm.Instr{Op: vm.OpAdd, Dst: i, A: i, B: wreg, Scalar: true, Addr: true})
+			bd.Else()
+			bd.Emit(vm.Instr{Op: vm.OpLoad, Dst: into, A: j, Arr: src, Stride: 1})
+			bd.Emit(vm.Instr{Op: vm.OpAdd, Dst: j, A: j, B: wreg, Scalar: true, Addr: true})
+			bd.End()
+		}
+
+		pick(acc)
+		t := bd.Loop(0, T-1)
+		_ = t
+		nb := bd.Reg()
+		pick(nb)
+		low, high := bitonicMerge(bd, w, acc, nb, masks)
+		bd.Store(dst, low, k2, 1)
+		bd.Emit(vm.Instr{Op: vm.OpAdd, Dst: k2, A: k2, B: wreg, Scalar: true, Addr: true})
+		bd.Emit(vm.Instr{Op: vm.OpCopy, Dst: acc, A: high})
+		bd.End()
+		bd.Store(dst, acc, k2, 1)
+		bd.End()
+		src, dst = dst, src
+	}
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("mergesort ninja: %w", err)
+	}
+	return p, nil
+}

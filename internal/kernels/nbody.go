@@ -1,0 +1,262 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// NBody computes all-pairs gravitational accelerations (one force step of
+// an O(N^2) body simulation). It is the suite's regular compute-bound
+// kernel: the inner loop vectorizes even without annotations, and the
+// remaining ladder steps come from threading, fast reciprocal square
+// roots, and AoS-to-SoA conversion.
+type NBody struct{}
+
+const nbodyEps = 1e-6
+
+func init() { register(NBody{}) }
+
+// Name implements Benchmark.
+func (NBody) Name() string { return "nbody" }
+
+// Description implements Benchmark.
+func (NBody) Description() string {
+	return "all-pairs gravitational force computation (one N-body step)"
+}
+
+// Domain implements Benchmark.
+func (NBody) Domain() string { return "physical simulation" }
+
+// Character implements Benchmark.
+func (NBody) Character() string { return "compute-bound, O(N^2), rsqrt-heavy" }
+
+// DefaultN implements Benchmark: number of bodies.
+func (NBody) DefaultN() int { return 1024 }
+
+// TestN implements Benchmark.
+func (NBody) TestN() int { return 96 }
+
+type nbodyInputs struct {
+	x, y, z, m []float64
+}
+
+func nbodyGen(n int) *nbodyInputs {
+	g := rng(1701)
+	in := &nbodyInputs{
+		x: make([]float64, n), y: make([]float64, n),
+		z: make([]float64, n), m: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		in.x[i] = g.Float64()*2 - 1
+		in.y[i] = g.Float64()*2 - 1
+		in.z[i] = g.Float64()*2 - 1
+		in.m[i] = 0.5 + g.Float64()
+	}
+	return in
+}
+
+func nbodyRef(in *nbodyInputs) []float64 {
+	n := len(in.x)
+	acc := make([]float64, n*3)
+	for i := 0; i < n; i++ {
+		var ax, ay, az float64
+		for j := 0; j < n; j++ {
+			dx := in.x[j] - in.x[i]
+			dy := in.y[j] - in.y[i]
+			dz := in.z[j] - in.z[i]
+			r2 := dx*dx + dy*dy + dz*dz + nbodyEps
+			inv := 1 / math.Sqrt(r2)
+			inv3 := inv * inv * inv
+			s := in.m[j] * inv3
+			ax += dx * s
+			ay += dy * s
+			az += dz * s
+		}
+		acc[i*3+0] = ax
+		acc[i*3+1] = ay
+		acc[i*3+2] = az
+	}
+	return acc
+}
+
+// source builds the lang kernel. rsqrtExplicit selects the algorithmic
+// version's explicit reciprocal square root (versus naive 1/sqrt).
+func (b NBody) source(v Version, n int) *lang.Kernel {
+	soa := v >= Algo
+	pos := &lang.Array{Name: "pos", Elem: lang.F32, Len: n, Fields: 4, SoA: soa, Restrict: v >= Algo}
+	acc := &lang.Array{Name: "acc", Elem: lang.F32, Len: n, Fields: 3, SoA: soa, Restrict: v >= Algo}
+
+	var inv lang.Expr
+	if v >= Algo {
+		inv = lang.Rsqrt(vr("r2"))
+	} else {
+		inv = div(num(1), sqrt(vr("r2")))
+	}
+	inner := lang.For{
+		Var: "j", Lo: num(0), Hi: num(float64(n)),
+		Simd:   v >= Pragma,
+		Unroll: 4,
+		Body: []lang.Stmt{
+			let("dx", sub(atf(pos, vr("j"), 0), vr("xi"))),
+			let("dy", sub(atf(pos, vr("j"), 1), vr("yi"))),
+			let("dz", sub(atf(pos, vr("j"), 2), vr("zi"))),
+			let("r2", add(add(mul(vr("dx"), vr("dx")), mul(vr("dy"), vr("dy"))),
+				add(mul(vr("dz"), vr("dz")), num(nbodyEps)))),
+			let("inv", inv),
+			let("inv3", mul(mul(vr("inv"), vr("inv")), vr("inv"))),
+			let("s", mul(atf(pos, vr("j"), 3), vr("inv3"))),
+			let("ax", add(vr("ax"), mul(vr("dx"), vr("s")))),
+			let("ay", add(vr("ay"), mul(vr("dy"), vr("s")))),
+			let("az", add(vr("az"), mul(vr("dz"), vr("s")))),
+		},
+	}
+	outer := lang.For{
+		Var: "i", Lo: num(0), Hi: num(float64(n)),
+		Parallel: v >= Pragma,
+		Body: []lang.Stmt{
+			let("xi", atf(pos, vr("i"), 0)),
+			let("yi", atf(pos, vr("i"), 1)),
+			let("zi", atf(pos, vr("i"), 2)),
+			let("ax", num(0)),
+			let("ay", num(0)),
+			let("az", num(0)),
+			inner,
+			set(latf(acc, vr("i"), 0), vr("ax")),
+			set(latf(acc, vr("i"), 1), vr("ay")),
+			set(latf(acc, vr("i"), 2), vr("az")),
+		},
+	}
+	return &lang.Kernel{Name: "nbody-" + v.String(), Arrays: []*lang.Array{pos, acc}, Body: []lang.Stmt{outer}}
+}
+
+func (NBody) pack(in *nbodyInputs, soa bool) *vm.Array {
+	n := len(in.x)
+	a := newArr("pos", n*4)
+	fields := [][]float64{in.x, in.y, in.z, in.m}
+	for i := 0; i < n; i++ {
+		for f := 0; f < 4; f++ {
+			if soa {
+				a.Data[f*n+i] = fields[f][i]
+			} else {
+				a.Data[i*4+f] = fields[f][i]
+			}
+		}
+	}
+	return a
+}
+
+// unpackAcc converts a version-layout acceleration array to canonical
+// (AoS xyz) order for checking.
+func unpackAcc(a *vm.Array, n int, soa bool) []float64 {
+	out := make([]float64, n*3)
+	for i := 0; i < n; i++ {
+		for f := 0; f < 3; f++ {
+			if soa {
+				out[i*3+f] = a.Data[f*n+i]
+			} else {
+				out[i*3+f] = a.Data[i*3+f]
+			}
+		}
+	}
+	return out
+}
+
+// Prepare implements Benchmark.
+func (b NBody) Prepare(v Version, m *machine.Machine, n int) (*Instance, error) {
+	in := nbodyGen(n)
+	golden := nbodyRef(in)
+	soa := v >= Algo
+	arrays := map[string]*vm.Array{
+		"pos": b.pack(in, soa),
+		"acc": newArr("acc", n*3),
+	}
+	check := func() error {
+		got := unpackAcc(arrays["acc"], n, soa)
+		return checkClose("nbody/"+v.String(), got, golden, 1e-7)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, n)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, n, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, n), n, arrays, check)
+}
+
+// ninja is the hand-written version: parallel over bodies, vectorized over
+// interaction partners with SoA loads, direct rsqrt, FMA accumulation,
+// 4x unrolled with independent accumulator semantics.
+func (b NBody) ninja(m *machine.Machine, n int) (*vm.Prog, error) {
+	bd := vm.NewBuilder("nbody-ninja")
+	pos := bd.Array("pos", 4)
+	acc := bd.Array("acc", 4)
+	nf := float64(n)
+	eps := bd.Const(nbodyEps)
+	n1 := bd.Const(nf)
+	n2 := bd.Const(2 * nf)
+	n3 := bd.Const(3 * nf)
+	three := bd.Const(3)
+
+	i := bd.ParLoop(0, int64(n))
+	// Broadcast body i's position (SoA: x at i, y at n+i, z at 2n+i).
+	xi := bd.Broadcast(bd.LoadScalar(pos, i))
+	yib := bd.ScalarAddr2(vm.OpAdd, i, n1)
+	yi := bd.Broadcast(bd.LoadScalar(pos, yib))
+	zib := bd.ScalarAddr2(vm.OpAdd, i, n2)
+	zi := bd.Broadcast(bd.LoadScalar(pos, zib))
+
+	ax := bd.Const(0)
+	ay := bd.Const(0)
+	az := bd.Const(0)
+
+	j := bd.VecLoop(0, int64(n))
+	bd.SetUnroll(4)
+	xj := bd.Load(pos, j, 1)
+	yjb := bd.ScalarAddr2(vm.OpAdd, j, n1)
+	yj := bd.Load(pos, yjb, 1)
+	zjb := bd.ScalarAddr2(vm.OpAdd, j, n2)
+	zj := bd.Load(pos, zjb, 1)
+	mjb := bd.ScalarAddr2(vm.OpAdd, j, n3)
+	mj := bd.Load(pos, mjb, 1)
+
+	dx := bd.Op2(vm.OpSub, xj, xi)
+	dy := bd.Op2(vm.OpSub, yj, yi)
+	dz := bd.Op2(vm.OpSub, zj, zi)
+	r2 := bd.FMA(dx, dx, eps)
+	r2 = bd.FMA(dy, dy, r2)
+	r2 = bd.FMA(dz, dz, r2)
+	inv := bd.Op1(vm.OpRsqrt, r2)
+	inv2 := bd.Op2(vm.OpMul, inv, inv)
+	inv3 := bd.Op2(vm.OpMul, inv2, inv)
+	s := bd.Op2(vm.OpMul, mj, inv3)
+	// Neutralize masked tail lanes before accumulating.
+	mk := bd.MaskMov()
+	s = bd.Op2(vm.OpMul, s, mk)
+	bd.Emit(vm.Instr{Op: vm.OpFMA, Dst: ax, A: dx, B: s, C: ax, Carried: true, Unroll: 4})
+	bd.Emit(vm.Instr{Op: vm.OpFMA, Dst: ay, A: dy, B: s, C: ay, Carried: true, Unroll: 4})
+	bd.Emit(vm.Instr{Op: vm.OpFMA, Dst: az, A: dz, B: s, C: az, Carried: true, Unroll: 4})
+	bd.End()
+
+	hx := bd.Op1(vm.OpHAdd, ax)
+	hy := bd.Op1(vm.OpHAdd, ay)
+	hz := bd.Op1(vm.OpHAdd, az)
+	// SoA acc: ax at i, ay at n+i, az at 2n+i.
+	bd.StoreScalar(acc, hx, i)
+	ayb := bd.ScalarAddr2(vm.OpAdd, i, n1)
+	bd.StoreScalar(acc, hy, ayb)
+	azb := bd.ScalarAddr2(vm.OpAdd, i, n2)
+	bd.StoreScalar(acc, hz, azb)
+	bd.End()
+	_ = three
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("nbody ninja: %w", err)
+	}
+	return p, nil
+}

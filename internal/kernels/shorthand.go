@@ -1,0 +1,37 @@
+package kernels
+
+import "ninjagap/internal/lang"
+
+// Expression shorthands: kernel sources read close to the C they model.
+var (
+	num  = lang.N
+	vr   = lang.V
+	add  = lang.AddX
+	sub  = lang.SubX
+	mul  = lang.MulX
+	div  = lang.DivX
+	lt   = lang.LtX
+	le   = lang.LeX
+	gt   = lang.GtX
+	ge   = lang.GeX
+	and  = lang.AndX
+	or   = lang.OrX
+	sqrt = lang.Sqrt
+	exp  = lang.Exp
+	lg   = lang.Log
+	absf = lang.Abs
+	minf = lang.Min2
+	maxf = lang.Max2
+	sel  = lang.Select
+	fl   = lang.Floor
+	at   = lang.At
+	atf  = lang.AtF
+	lat  = lang.LAt
+	latf = lang.LAtF
+)
+
+// let is a shorthand statement constructor.
+func let(name string, x lang.Expr) lang.Stmt { return lang.Let{Name: name, X: x} }
+
+// set is a shorthand array-store constructor.
+func set(a lang.Access, x lang.Expr) lang.Stmt { return lang.Assign{LHS: a, X: x} }

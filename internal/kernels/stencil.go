@@ -1,0 +1,177 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// Stencil applies one sweep of a 7-point 3D stencil (the HPC proxy kernel
+// of the suite). It is bandwidth-bound on the multicore machines: SIMD and
+// threading help only until DRAM saturates, which is why the paper's gap
+// for stencil-like kernels is small. The algorithmic change is cache
+// blocking in y.
+type Stencil struct{}
+
+const (
+	stencilC0 = 0.5
+	stencilC1 = 0.1 // weight of each of the six neighbors
+	stencilBY = 16  // y-block for the cache-blocked version
+)
+
+func init() { register(Stencil{}) }
+
+// Name implements Benchmark.
+func (Stencil) Name() string { return "stencil" }
+
+// Description implements Benchmark.
+func (Stencil) Description() string { return "7-point 3D stencil sweep over a cubic grid" }
+
+// Domain implements Benchmark.
+func (Stencil) Domain() string { return "HPC / PDE solvers" }
+
+// Character implements Benchmark.
+func (Stencil) Character() string { return "bandwidth-bound, streaming with neighbor reuse" }
+
+// DefaultN implements Benchmark: grid dimension D (grid is D^3).
+func (Stencil) DefaultN() int { return 96 }
+
+// TestN implements Benchmark.
+func (Stencil) TestN() int { return 18 }
+
+func stencilGen(d int) []float64 {
+	g := rng(7001)
+	in := make([]float64, d*d*d)
+	for i := range in {
+		in[i] = g.Float64()
+	}
+	return in
+}
+
+func stencilRef(in []float64, d int) []float64 {
+	out := make([]float64, len(in))
+	idx := func(z, y, x int) int { return (z*d+y)*d + x }
+	for z := 1; z < d-1; z++ {
+		for y := 1; y < d-1; y++ {
+			for x := 1; x < d-1; x++ {
+				i := idx(z, y, x)
+				// Grouped to match the kernel sources' association order.
+				out[i] = stencilC0*in[i] + stencilC1*((in[i-1]+in[i+1])+
+					(in[i-d]+in[i+d])+(in[i-d*d]+in[i+d*d]))
+			}
+		}
+	}
+	return out
+}
+
+// source builds the lang kernel; the Algo version adds y cache blocking.
+func (b Stencil) source(v Version, d int) *lang.Kernel {
+	in := &lang.Array{Name: "in", Elem: lang.F32, Len: d * d * d, Restrict: v >= Algo}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: d * d * d, Restrict: v >= Algo}
+	df := float64(d)
+
+	xBody := []lang.Stmt{
+		let("idx", add(mul(add(mul(vr("z"), num(df)), vr("y")), num(df)), vr("x"))),
+		set(lat(out, vr("idx")),
+			add(mul(num(stencilC0), at(in, vr("idx"))),
+				mul(num(stencilC1),
+					add(add(add(at(in, sub(vr("idx"), num(1))), at(in, add(vr("idx"), num(1)))),
+						add(at(in, sub(vr("idx"), num(df))), at(in, add(vr("idx"), num(df))))),
+						add(at(in, sub(vr("idx"), num(df*df))), at(in, add(vr("idx"), num(df*df)))))))),
+	}
+	xLoop := lang.For{Var: "x", Lo: num(1), Hi: num(df - 1),
+		Simd: v >= Pragma, Unroll: 2, Body: xBody}
+
+	var zBody []lang.Stmt
+	if v >= Algo {
+		// Cache-blocked in y: sweep y in strips so the three active input
+		// planes stay resident.
+		zBody = []lang.Stmt{
+			lang.For{Var: "yb", Lo: num(0), Hi: num(float64((d - 2 + stencilBY - 1) / stencilBY)), Body: []lang.Stmt{
+				let("ylo", add(num(1), mul(vr("yb"), num(stencilBY)))),
+				let("yhi", minf(add(vr("ylo"), num(stencilBY)), num(df-1))),
+				lang.For{Var: "y", Lo: vr("ylo"), Hi: vr("yhi"), Body: []lang.Stmt{xLoop}},
+			}},
+		}
+	} else {
+		zBody = []lang.Stmt{
+			lang.For{Var: "y", Lo: num(1), Hi: num(df - 1), Body: []lang.Stmt{xLoop}},
+		}
+	}
+	zLoop := lang.For{Var: "z", Lo: num(1), Hi: num(df - 1),
+		Parallel: v >= Pragma, Body: zBody}
+	return &lang.Kernel{Name: "stencil-" + v.String(), Arrays: []*lang.Array{in, out}, Body: []lang.Stmt{zLoop}}
+}
+
+// Prepare implements Benchmark.
+func (b Stencil) Prepare(v Version, m *machine.Machine, d int) (*Instance, error) {
+	inData := stencilGen(d)
+	golden := stencilRef(inData, d)
+	arrays := map[string]*vm.Array{
+		"in":  newArr("in", d*d*d),
+		"out": newArr("out", d*d*d),
+	}
+	copy(arrays["in"].Data, inData)
+	check := func() error {
+		return checkClose("stencil/"+v.String(), arrays["out"].Data, golden, 1e-12)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, d)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, d, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, d), d, arrays, check)
+}
+
+// ninja is the hand-written sweep: parallel in z, vectorized unit-stride x
+// with all constants hoisted and 4x unrolling.
+func (b Stencil) ninja(m *machine.Machine, d int) (*vm.Prog, error) {
+	bd := vm.NewBuilder("stencil-ninja")
+	in := bd.Array("in", 4)
+	out := bd.Array("out", 4)
+	df := float64(d)
+	c0 := bd.Const(stencilC0)
+	c1 := bd.Const(stencilC1)
+	dreg := bd.Const(df)
+	d2reg := bd.Const(df * df)
+	one := bd.Const(1)
+
+	z := bd.ParLoop(1, int64(d-2))
+	y := bd.Loop(1, int64(d-2))
+	zy := bd.ScalarAddr2(vm.OpMul, bd.ScalarAddr2(vm.OpAdd, bd.ScalarAddr2(vm.OpMul, z, dreg), y), dreg)
+	x := bd.VecLoop(1, int64(d-2))
+	bd.SetUnroll(4)
+	idx := bd.ScalarAddr2(vm.OpAdd, zy, x) // base address; loads use lane 0
+	c := bd.Load(in, idx, 1)
+	w := bd.ScalarAddr2(vm.OpSub, idx, one)
+	xm := bd.Load(in, w, 1)
+	e := bd.ScalarAddr2(vm.OpAdd, idx, one)
+	xp := bd.Load(in, e, 1)
+	nIdx := bd.ScalarAddr2(vm.OpSub, idx, dreg)
+	ym := bd.Load(in, nIdx, 1)
+	sIdx := bd.ScalarAddr2(vm.OpAdd, idx, dreg)
+	yp := bd.Load(in, sIdx, 1)
+	bIdx := bd.ScalarAddr2(vm.OpSub, idx, d2reg)
+	zm := bd.Load(in, bIdx, 1)
+	fIdx := bd.ScalarAddr2(vm.OpAdd, idx, d2reg)
+	zp := bd.Load(in, fIdx, 1)
+
+	sum := bd.Op2(vm.OpAdd, xm, xp)
+	sum = bd.Op2(vm.OpAdd, sum, bd.Op2(vm.OpAdd, ym, yp))
+	sum = bd.Op2(vm.OpAdd, sum, bd.Op2(vm.OpAdd, zm, zp))
+	res := bd.FMA(c0, c, bd.Op2(vm.OpMul, c1, sum))
+	bd.Store(out, res, idx, 1)
+	bd.End()
+	bd.End()
+	bd.End()
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("stencil ninja: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,199 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// TreeSearch answers batches of lookups against an in-memory binary search
+// tree laid out in breadth-first order (the index-probe kernel of in-memory
+// databases). Each probe chases pointers — a data-dependent while loop with
+// a mispredicting branch per level — so neither the compiler nor pragmas
+// can vectorize it; the algorithmic change searches SIMD-many queries in
+// lockstep with gathers, which is also the kernel where hardware
+// gather/scatter support pays off most.
+type TreeSearch struct{}
+
+const treeDepth = 16 // 2^16-1 keys, ~256 KiB: top levels cache, bottom misses
+
+func init() { register(TreeSearch{}) }
+
+// Name implements Benchmark.
+func (TreeSearch) Name() string { return "treesearch" }
+
+// Description implements Benchmark.
+func (TreeSearch) Description() string {
+	return "batched lookups in a BFS-order binary search tree"
+}
+
+// Domain implements Benchmark.
+func (TreeSearch) Domain() string { return "databases" }
+
+// Character implements Benchmark.
+func (TreeSearch) Character() string { return "irregular, pointer-chasing, branch-heavy" }
+
+// DefaultN implements Benchmark: number of queries.
+func (TreeSearch) DefaultN() int { return 1 << 14 }
+
+// TestN implements Benchmark.
+func (TreeSearch) TestN() int { return 1 << 9 }
+
+type treeInputs struct {
+	tree    []float64 // BFS-order keys, 2^depth - 1
+	queries []float64
+}
+
+// buildBFS fills tree with the BFS layout of a balanced BST over sorted.
+func buildBFS(sorted []float64, tree []float64, node, lo, hi int) {
+	if lo >= hi || node >= len(tree) {
+		return
+	}
+	mid := (lo + hi) / 2
+	tree[node] = sorted[mid]
+	buildBFS(sorted, tree, 2*node+1, lo, mid)
+	buildBFS(sorted, tree, 2*node+2, mid+1, hi)
+}
+
+func tsGen(nq int) *treeInputs {
+	g := rng(4114)
+	nNodes := 1<<treeDepth - 1
+	keys := make([]float64, nNodes)
+	for i := range keys {
+		keys[i] = g.Float64() * 1e6
+	}
+	sort.Float64s(keys)
+	in := &treeInputs{tree: make([]float64, nNodes), queries: make([]float64, nq)}
+	buildBFS(keys, in.tree, 0, 0, nNodes)
+	for i := range in.queries {
+		in.queries[i] = g.Float64() * 1e6
+	}
+	return in
+}
+
+// tsRef walks each query to its virtual leaf slot.
+func tsRef(in *treeInputs) []float64 {
+	nNodes := len(in.tree)
+	out := make([]float64, len(in.queries))
+	for q, key := range in.queries {
+		node := 0
+		for node < nNodes {
+			if key < in.tree[node] {
+				node = 2*node + 1
+			} else {
+				node = 2*node + 2
+			}
+		}
+		out[q] = float64(node)
+	}
+	return out
+}
+
+// source builds the kernel: per-query descent in a while loop. The Naive
+// form branches on the comparison; the Algo form is branchless (select)
+// and annotated for SIMD, which produces the masked lockstep descent with
+// gathered key loads.
+func (b TreeSearch) source(v Version, nq int) *lang.Kernel {
+	nNodes := 1<<treeDepth - 1
+	tree := &lang.Array{Name: "tree", Elem: lang.F32, Len: nNodes, Restrict: v >= Algo}
+	queries := &lang.Array{Name: "queries", Elem: lang.F32, Len: nq, Restrict: v >= Algo}
+	out := &lang.Array{Name: "out", Elem: lang.F32, Len: nq, Restrict: v >= Algo}
+
+	var step []lang.Stmt
+	if v >= Algo {
+		step = []lang.Stmt{
+			let("k", at(tree, vr("node"))),
+			let("node", sel(lt(vr("key"), vr("k")),
+				add(mul(vr("node"), num(2)), num(1)),
+				add(mul(vr("node"), num(2)), num(2)))),
+		}
+	} else {
+		step = []lang.Stmt{
+			let("k", at(tree, vr("node"))),
+			lang.If{Cond: lt(vr("key"), vr("k")), MissProb: 0.5,
+				Then: []lang.Stmt{let("node", add(mul(vr("node"), num(2)), num(1)))},
+				Else: []lang.Stmt{let("node", add(mul(vr("node"), num(2)), num(2)))},
+			},
+		}
+	}
+	walk := lang.While{
+		Cond:     lt(vr("node"), num(float64(nNodes))),
+		MissProb: 0.05, // the loop runs a fixed depth: well predicted
+		Body:     step,
+	}
+	qBody := []lang.Stmt{
+		let("key", at(queries, vr("q"))),
+		let("node", num(0)),
+		walk,
+		set(lat(out, vr("q")), vr("node")),
+	}
+	qLoop := lang.For{Var: "q", Lo: num(0), Hi: num(float64(nq)),
+		Parallel: v >= Pragma, Simd: v >= Algo, Body: qBody}
+	return &lang.Kernel{Name: "treesearch-" + v.String(),
+		Arrays: []*lang.Array{tree, queries, out}, Body: []lang.Stmt{qLoop}}
+}
+
+// Prepare implements Benchmark.
+func (b TreeSearch) Prepare(v Version, m *machine.Machine, nq int) (*Instance, error) {
+	in := tsGen(nq)
+	golden := tsRef(in)
+	arrays := map[string]*vm.Array{
+		"tree":    newArr("tree", len(in.tree)),
+		"queries": newArr("queries", nq),
+		"out":     newArr("out", nq),
+	}
+	copy(arrays["tree"].Data, in.tree)
+	copy(arrays["queries"].Data, in.queries)
+	check := func() error {
+		return checkClose("treesearch/"+v.String(), arrays["out"].Data, golden, 0)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, nq)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, nq, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, nq), nq, arrays, check)
+}
+
+// ninja is the hand-written lockstep probe: since the descent always runs
+// exactly treeDepth levels, the while loop is replaced by a counted loop
+// (no exit tests at all), node arithmetic is integer, and the key loads
+// are gathers.
+func (b TreeSearch) ninja(m *machine.Machine, nq int) (*vm.Prog, error) {
+	bd := vm.NewBuilder("treesearch-ninja")
+	tree := bd.Array("tree", 4)
+	queries := bd.Array("queries", 4)
+	out := bd.Array("out", 4)
+	one := bd.Const(1)
+	two := bd.Const(2)
+
+	q := bd.ParVecLoop(0, int64(nq))
+	key := bd.Load(queries, q, 1)
+	node := bd.Reg()
+	bd.Emit(vm.Instr{Op: vm.OpConst, Dst: node, Imm: 0})
+	lvl := bd.Loop(0, treeDepth)
+	_ = lvl
+	// The gather is on the node dependence chain: each level waits for the
+	// previous one, though its lanes' misses overlap.
+	k := bd.Reg()
+	bd.Emit(vm.Instr{Op: vm.OpGather, Dst: k, A: node, Arr: tree, Carried: true})
+	goLeft := bd.Op2(vm.OpCmpLT, key, k)
+	n2 := bd.Addr2(vm.OpMul, node, two)
+	n2 = bd.Addr2(vm.OpAdd, n2, one)
+	right := bd.Addr2(vm.OpAdd, n2, one)
+	bd.Emit(vm.Instr{Op: vm.OpBlend, Dst: node, A: n2, B: right, C: goLeft})
+	bd.End()
+	bd.Store(out, node, q, 1)
+	bd.End()
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("treesearch ninja: %w", err)
+	}
+	return p, nil
+}

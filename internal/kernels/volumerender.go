@@ -1,0 +1,251 @@
+package kernels
+
+import (
+	"fmt"
+
+	"ninjagap/internal/lang"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// VolumeRender casts axis-aligned rays through a density volume with
+// front-to-back alpha compositing and early ray termination. Rays
+// terminate at different depths, so the SIMD version pays divergence
+// (masked lanes idle) and the threaded version needs dynamic scheduling
+// for load balance — the two irregularity costs the paper discusses.
+type VolumeRender struct{}
+
+const (
+	vrThresh   = 0.58 // density below this contributes nothing
+	vrScale    = 0.35 // opacity transfer slope
+	vrCutoff   = 0.95 // early termination opacity
+	vrRayChunk = 4    // dynamic-schedule chunk for threaded versions
+)
+
+func init() { register(VolumeRender{}) }
+
+// Name implements Benchmark.
+func (VolumeRender) Name() string { return "volumerender" }
+
+// Description implements Benchmark.
+func (VolumeRender) Description() string {
+	return "volume ray casting with early ray termination"
+}
+
+// Domain implements Benchmark.
+func (VolumeRender) Domain() string { return "graphics / visualization" }
+
+// Character implements Benchmark.
+func (VolumeRender) Character() string { return "irregular, divergent control flow" }
+
+// DefaultN implements Benchmark: volume dimension D (D^3 voxels, D^2 rays).
+func (VolumeRender) DefaultN() int { return 64 }
+
+// TestN implements Benchmark.
+func (VolumeRender) TestN() int { return 18 }
+
+// vrGen builds a volume with smooth blobs so rays terminate at varied
+// depths (pure noise would terminate everything almost immediately).
+func vrGen(d int) []float64 {
+	vol := make([]float64, d*d*d)
+	g := rng(5505)
+	type blob struct{ cx, cy, cz, r float64 }
+	blobs := make([]blob, 6)
+	for i := range blobs {
+		blobs[i] = blob{
+			cx: g.Float64() * float64(d),
+			cy: g.Float64() * float64(d),
+			cz: (0.3 + 0.7*g.Float64()) * float64(d),
+			r:  (0.15 + 0.25*g.Float64()) * float64(d),
+		}
+	}
+	for z := 0; z < d; z++ {
+		for y := 0; y < d; y++ {
+			for x := 0; x < d; x++ {
+				v := 0.0
+				for _, b := range blobs {
+					dx := float64(x) - b.cx
+					dy := float64(y) - b.cy
+					dz := float64(z) - b.cz
+					r2 := (dx*dx + dy*dy + dz*dz) / (b.r * b.r)
+					if r2 < 1 {
+						v += (1 - r2) * 0.9
+					}
+				}
+				if v > 1 {
+					v = 1
+				}
+				vol[(z*d+y)*d+x] = v
+			}
+		}
+	}
+	return vol
+}
+
+func vrRef(vol []float64, d int) []float64 {
+	img := make([]float64, d*d)
+	for y := 0; y < d; y++ {
+		for x := 0; x < d; x++ {
+			alpha, color := 0.0, 0.0
+			for z := 0; z < d && alpha < vrCutoff; z++ {
+				v := vol[(z*d+y)*d+x]
+				if v > vrThresh {
+					contrib := (v - vrThresh) * vrScale
+					if contrib > 1 {
+						contrib = 1
+					}
+					color += (1 - alpha) * contrib * v
+					alpha += (1 - alpha) * contrib
+				}
+			}
+			img[y*d+x] = color
+		}
+	}
+	return img
+}
+
+// source builds the kernel: per-pixel ray march in a while loop with an
+// early-exit condition and a data-dependent branch on the sample.
+func (b VolumeRender) source(v Version, d int) *lang.Kernel {
+	vol := &lang.Array{Name: "vol", Elem: lang.F32, Len: d * d * d, Restrict: v >= Algo}
+	img := &lang.Array{Name: "img", Elem: lang.F32, Len: d * d, Restrict: v >= Algo}
+	df := float64(d)
+
+	sampleIdx := add(mul(add(mul(vr("z"), num(df)), vr("y")), num(df)), vr("x"))
+	var hit []lang.Stmt
+	if v >= Algo {
+		// Branchless transfer function (select) for the vector form.
+		hit = []lang.Stmt{
+			let("contrib", sel(gt(vr("v"), num(vrThresh)),
+				minf(mul(sub(vr("v"), num(vrThresh)), num(vrScale)), num(1)),
+				num(0))),
+			let("color", add(vr("color"), mul(mul(sub(num(1), vr("alpha")), vr("contrib")), vr("v")))),
+			let("alpha", add(vr("alpha"), mul(sub(num(1), vr("alpha")), vr("contrib")))),
+		}
+	} else {
+		hit = []lang.Stmt{
+			lang.If{Cond: gt(vr("v"), num(vrThresh)), MissProb: 0.35, Then: []lang.Stmt{
+				let("contrib", minf(mul(sub(vr("v"), num(vrThresh)), num(vrScale)), num(1))),
+				let("color", add(vr("color"), mul(mul(sub(num(1), vr("alpha")), vr("contrib")), vr("v")))),
+				let("alpha", add(vr("alpha"), mul(sub(num(1), vr("alpha")), vr("contrib")))),
+			}},
+		}
+	}
+	march := lang.While{
+		Cond:     and(lt(vr("z"), num(df)), lt(vr("alpha"), num(vrCutoff))),
+		MissProb: 0.1,
+		Body: append([]lang.Stmt{
+			let("v", at(vol, sampleIdx)),
+		}, append(hit,
+			let("z", add(vr("z"), num(1))))...),
+	}
+	xBody := []lang.Stmt{
+		let("z", num(0)),
+		let("alpha", num(0)),
+		let("color", num(0)),
+		march,
+		set(lat(img, add(mul(vr("y"), num(df)), vr("x"))), vr("color")),
+	}
+	xLoop := lang.For{Var: "x", Lo: num(0), Hi: num(df),
+		Simd: v >= Algo, Body: xBody}
+	yLoop := lang.For{Var: "y", Lo: num(0), Hi: num(df),
+		Parallel: v >= Pragma, Chunk: vrRayChunk, Body: []lang.Stmt{xLoop}}
+	return &lang.Kernel{Name: "volumerender-" + v.String(),
+		Arrays: []*lang.Array{vol, img}, Body: []lang.Stmt{yLoop}}
+}
+
+// Prepare implements Benchmark.
+func (b VolumeRender) Prepare(v Version, m *machine.Machine, d int) (*Instance, error) {
+	vol := vrGen(d)
+	golden := vrRef(vol, d)
+	arrays := map[string]*vm.Array{
+		"vol": newArr("vol", d*d*d),
+		"img": newArr("img", d*d),
+	}
+	copy(arrays["vol"].Data, vol)
+	check := func() error {
+		return checkClose("volumerender/"+v.String(), arrays["img"].Data, golden, 1e-9)
+	}
+	if v == Ninja {
+		p, err := b.ninja(m, d)
+		if err != nil {
+			return nil, err
+		}
+		return ninjaInstance(b, d, p, arrays, check), nil
+	}
+	return compileInstance(b, v, b.source(v, d), d, arrays, check)
+}
+
+// ninja is the hand-written packet tracer: a ray packet per SIMD vector,
+// masked marching with blended state updates, branchless transfer
+// function, and dynamic ray-packet scheduling.
+func (b VolumeRender) ninja(m *machine.Machine, d int) (*vm.Prog, error) {
+	bd := vm.NewBuilder("volumerender-ninja")
+	vol := bd.Array("vol", 4)
+	img := bd.Array("img", 4)
+	df := float64(d)
+	dreg := bd.Const(df)
+	one := bd.Const(1)
+	zero := bd.Const(0)
+	thr := bd.Const(vrThresh)
+	scale := bd.Const(vrScale)
+	cut := bd.Const(vrCutoff)
+
+	y := bd.ParLoop(0, int64(d))
+	bd.SetChunk(vrRayChunk)
+	row := bd.ScalarAddr2(vm.OpMul, y, dreg)
+	x := bd.VecLoop(0, int64(d))
+
+	z := bd.Reg()
+	bd.Emit(vm.Instr{Op: vm.OpConst, Dst: z, Imm: 0})
+	alpha := bd.Reg()
+	bd.Emit(vm.Instr{Op: vm.OpConst, Dst: alpha, Imm: 0})
+	color := bd.Reg()
+	bd.Emit(vm.Instr{Op: vm.OpConst, Dst: color, Imm: 0})
+
+	// active = z < D && alpha < cutoff
+	cond := bd.Reg()
+	zlt := bd.Op2(vm.OpCmpLT, z, dreg)
+	alt := bd.Op2(vm.OpCmpLT, alpha, cut)
+	bd.Emit(vm.Instr{Op: vm.OpAndM, Dst: cond, A: zlt, B: alt})
+
+	bd.While(cond, 0)
+	{
+		// idx = z*D*D + y*D + x, computed per lane.
+		zd := bd.Addr2(vm.OpMul, z, bd.Broadcast(dreg))
+		zdd := bd.Addr2(vm.OpMul, zd, bd.Broadcast(dreg))
+		idx := bd.Addr2(vm.OpAdd, zdd, bd.Broadcast(row))
+		idx = bd.Addr2(vm.OpAdd, idx, x)
+		v := bd.Gather(vol, idx)
+		raw := bd.Op2(vm.OpMul, bd.Op2(vm.OpSub, v, thr), scale)
+		contrib := bd.Op2(vm.OpMin, raw, one)
+		hitm := bd.Op2(vm.OpCmpGT, v, thr)
+		contrib = bd.Blend(contrib, zero, hitm)
+		oma := bd.Op2(vm.OpSub, one, alpha)
+		cadd := bd.Op2(vm.OpMul, bd.Op2(vm.OpMul, oma, contrib), v)
+		aadd := bd.Op2(vm.OpMul, oma, contrib)
+		// Freeze exited lanes: blend by the live mask.
+		nc := bd.Op2(vm.OpAdd, color, cadd)
+		na := bd.Op2(vm.OpAdd, alpha, aadd)
+		bd.Emit(vm.Instr{Op: vm.OpBlend, Dst: color, A: nc, B: color, C: cond})
+		bd.Emit(vm.Instr{Op: vm.OpBlend, Dst: alpha, A: na, B: alpha, C: cond})
+		nz := bd.Op2(vm.OpAdd, z, one)
+		bd.Emit(vm.Instr{Op: vm.OpBlend, Dst: z, A: nz, B: z, C: cond})
+		// Recompute the live mask, monotone.
+		zlt2 := bd.Op2(vm.OpCmpLT, z, dreg)
+		alt2 := bd.Op2(vm.OpCmpLT, alpha, cut)
+		nm := bd.Op2(vm.OpAndM, zlt2, alt2)
+		bd.Emit(vm.Instr{Op: vm.OpAndM, Dst: cond, A: nm, B: cond})
+	}
+	bd.End()
+	pidx := bd.ScalarAddr2(vm.OpAdd, row, x)
+	bd.Store(img, color, pidx, 1)
+	bd.End()
+	bd.End()
+
+	p, err := bd.Build()
+	if err != nil {
+		return nil, fmt.Errorf("volumerender ninja: %w", err)
+	}
+	return p, nil
+}

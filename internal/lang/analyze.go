@@ -1,0 +1,153 @@
+package lang
+
+// EvalConst attempts to fold an expression to a constant. Only Num and
+// arithmetic over Num fold; anything touching variables or memory does not.
+func EvalConst(e Expr) (float64, bool) {
+	switch x := e.(type) {
+	case Num:
+		return x.V, true
+	case Bin:
+		l, okl := EvalConst(x.L)
+		r, okr := EvalConst(x.R)
+		if !okl || !okr {
+			return 0, false
+		}
+		switch x.Op {
+		case Add:
+			return l + r, true
+		case Sub:
+			return l - r, true
+		case Mul:
+			return l * r, true
+		case Div:
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// VarsUsed collects the names of scalar locals read by an expression.
+func VarsUsed(e Expr, into map[string]bool) {
+	switch x := e.(type) {
+	case Var:
+		into[x.Name] = true
+	case Access:
+		VarsUsed(x.Idx, into)
+	case Bin:
+		VarsUsed(x.L, into)
+		VarsUsed(x.R, into)
+	case Call:
+		for _, a := range x.Args {
+			VarsUsed(a, into)
+		}
+	}
+}
+
+// ArrayUse records how a statement list touches arrays.
+type ArrayUse struct {
+	Reads  map[*Array]bool
+	Writes map[*Array]bool
+}
+
+// NewArrayUse returns an empty use set.
+func NewArrayUse() *ArrayUse {
+	return &ArrayUse{Reads: map[*Array]bool{}, Writes: map[*Array]bool{}}
+}
+
+// CollectArrayUse scans a statement list for array reads and writes.
+func CollectArrayUse(body []Stmt, u *ArrayUse) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Let:
+			collectReads(st.X, u)
+		case Assign:
+			u.Writes[st.LHS.A] = true
+			collectReads(st.LHS.Idx, u)
+			collectReads(st.X, u)
+		case For:
+			collectReads(st.Lo, u)
+			collectReads(st.Hi, u)
+			CollectArrayUse(st.Body, u)
+		case If:
+			collectReads(st.Cond, u)
+			CollectArrayUse(st.Then, u)
+			CollectArrayUse(st.Else, u)
+		case While:
+			collectReads(st.Cond, u)
+			CollectArrayUse(st.Body, u)
+		}
+	}
+}
+
+func collectReads(e Expr, u *ArrayUse) {
+	switch x := e.(type) {
+	case Access:
+		u.Reads[x.A] = true
+		collectReads(x.Idx, u)
+	case Bin:
+		collectReads(x.L, u)
+		collectReads(x.R, u)
+	case Call:
+		for _, a := range x.Args {
+			collectReads(a, u)
+		}
+	}
+}
+
+// CountStmts returns the number of statements in a body, recursively; the
+// programming-effort experiment (E8) uses it as its source-size proxy.
+func CountStmts(body []Stmt) int {
+	n := 0
+	for _, s := range body {
+		n++
+		switch st := s.(type) {
+		case For:
+			n += CountStmts(st.Body)
+		case If:
+			n += CountStmts(st.Then) + CountStmts(st.Else)
+		case While:
+			n += CountStmts(st.Body)
+		}
+	}
+	return n
+}
+
+// HasInnerControl reports whether a body contains loops or whiles (used to
+// find innermost loops).
+func HasInnerControl(body []Stmt) bool {
+	for _, s := range body {
+		switch st := s.(type) {
+		case For, While:
+			return true
+		case If:
+			if HasInnerControl(st.Then) || HasInnerControl(st.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// AssignedVars collects locals written by a statement list (no recursion
+// into nested For loops: their locals are scoped to the nest).
+func AssignedVars(body []Stmt, into map[string]bool) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case Let:
+			into[st.Name] = true
+		case If:
+			AssignedVars(st.Then, into)
+			AssignedVars(st.Else, into)
+		case While:
+			AssignedVars(st.Body, into)
+		case For:
+			into[st.Var] = true
+			AssignedVars(st.Body, into)
+		}
+	}
+}

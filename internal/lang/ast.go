@@ -1,0 +1,328 @@
+// Package lang defines the restricted-C source IR the benchmarks are
+// written in: loop nests over typed arrays with scalar locals, branches,
+// and while loops, plus the annotations the paper's "low programmer
+// effort" story revolves around — restrict qualifiers, #pragma simd /
+// ivdep, OpenMP-style parallel for, and AoS/SoA layout declarations.
+//
+// A kernel written in this IR plays the role of the paper's naive C code;
+// the compiler (internal/compiler) lowers it to VM code either scalar
+// (naive build) or auto-vectorized/parallelized, making exactly the
+// legality decisions a traditional vectorizing compiler makes.
+package lang
+
+import "fmt"
+
+// Type is an element type.
+type Type int
+
+// Element types.
+const (
+	F32 Type = iota
+	F64
+)
+
+// Bytes returns the element width in bytes.
+func (t Type) Bytes() int {
+	if t == F64 {
+		return 8
+	}
+	return 4
+}
+
+// String names the type.
+func (t Type) String() string {
+	if t == F64 {
+		return "f64"
+	}
+	return "f32"
+}
+
+// Array declares an array parameter of a kernel. With Fields > 1 the array
+// is an array of records: AoS layout interleaves fields (flat index
+// e*Fields+f); SoA layout splits them into planes (flat index f*Len+e).
+// The layout is part of the source program — converting AoS to SoA is one
+// of the paper's "well-known algorithmic changes".
+type Array struct {
+	Name     string
+	Elem     Type
+	Len      int  // number of records
+	Fields   int  // fields per record; 0 or 1 means a plain array
+	SoA      bool // field-major layout (only meaningful when Fields > 1)
+	Restrict bool // C99 restrict: may not alias any other parameter
+}
+
+// FieldCount normalizes Fields.
+func (a *Array) FieldCount() int {
+	if a.Fields <= 1 {
+		return 1
+	}
+	return a.Fields
+}
+
+// FlatLen is the total number of scalar elements.
+func (a *Array) FlatLen() int { return a.Len * a.FieldCount() }
+
+// Expr is a source expression.
+type Expr interface{ isExpr() }
+
+// Num is a literal.
+type Num struct{ V float64 }
+
+// Var references a scalar local (including loop variables).
+type Var struct{ Name string }
+
+// Access reads one field of one record of an array. Idx is the record
+// index expression; Field selects the record field.
+type Access struct {
+	A     *Array
+	Idx   Expr
+	Field int
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Lt
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+	And
+	Or
+)
+
+var binNames = [...]string{"+", "-", "*", "/", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+
+// String returns the operator token.
+func (o BinOp) String() string {
+	if o < 0 || int(o) >= len(binNames) {
+		return fmt.Sprintf("binop(%d)", int(o))
+	}
+	return binNames[o]
+}
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Call invokes a math builtin. Supported: sqrt, rsqrt, rcp, exp, log, sin,
+// cos, abs, neg, floor, min, max, select (cond, then, else), not.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+func (Num) isExpr()    {}
+func (Var) isExpr()    {}
+func (Access) isExpr() {}
+func (Bin) isExpr()    {}
+func (Call) isExpr()   {}
+
+// Stmt is a source statement.
+type Stmt interface{ isStmt() }
+
+// Let defines or reassigns a scalar local.
+type Let struct {
+	Name string
+	X    Expr
+}
+
+// Assign stores to an array element.
+type Assign struct {
+	LHS Access
+	X   Expr
+}
+
+// For is a counted loop over [Lo, Hi). Annotations correspond to the
+// paper's low-effort programmer interventions.
+type For struct {
+	Var  string
+	Lo   Expr
+	Hi   Expr
+	Body []Stmt
+
+	Parallel bool // #pragma omp parallel for
+	Simd     bool // #pragma simd: assert safe to vectorize, skip legality
+	Ivdep    bool // #pragma ivdep: assert no loop-carried dependences
+	Unroll   int  // #pragma unroll(n)
+	Chunk    int  // schedule(dynamic, Chunk) for load balancing
+}
+
+// If is a conditional. MissProb is the branch's misprediction probability
+// when compiled as a scalar branch (data-dependent branches ~0.5); when
+// if-converted it is irrelevant.
+type If struct {
+	Cond     Expr
+	Then     []Stmt
+	Else     []Stmt
+	MissProb float64
+}
+
+// While repeats Body while Cond holds. MissProb is the per-iteration exit
+// branch misprediction probability.
+type While struct {
+	Cond     Expr
+	Body     []Stmt
+	MissProb float64
+}
+
+func (Let) isStmt()    {}
+func (Assign) isStmt() {}
+func (For) isStmt()    {}
+func (If) isStmt()     {}
+func (While) isStmt()  {}
+
+// Kernel is a complete source program.
+type Kernel struct {
+	Name   string
+	Arrays []*Array
+	Body   []Stmt
+}
+
+// ArrayByName finds a declared array.
+func (k *Kernel) ArrayByName(name string) *Array {
+	for _, a := range k.Arrays {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Validate checks that every Access targets a declared array with a valid
+// field, and loop/locals are well formed.
+func (k *Kernel) Validate() error {
+	declared := map[*Array]bool{}
+	names := map[string]bool{}
+	for _, a := range k.Arrays {
+		if a.Name == "" || a.Len <= 0 {
+			return fmt.Errorf("kernel %s: bad array declaration %+v", k.Name, a)
+		}
+		if names[a.Name] {
+			return fmt.Errorf("kernel %s: duplicate array %s", k.Name, a.Name)
+		}
+		names[a.Name] = true
+		declared[a] = true
+	}
+	return validateStmts(k, k.Body, declared, 0)
+}
+
+func validateStmts(k *Kernel, body []Stmt, declared map[*Array]bool, depth int) error {
+	if depth > 12 {
+		return fmt.Errorf("kernel %s: nesting too deep", k.Name)
+	}
+	for _, s := range body {
+		switch st := s.(type) {
+		case Let:
+			if st.Name == "" {
+				return fmt.Errorf("kernel %s: Let with empty name", k.Name)
+			}
+			if err := validateExpr(k, st.X, declared); err != nil {
+				return err
+			}
+		case Assign:
+			if err := validateAccess(k, st.LHS, declared); err != nil {
+				return err
+			}
+			if err := validateExpr(k, st.X, declared); err != nil {
+				return err
+			}
+		case For:
+			if st.Var == "" {
+				return fmt.Errorf("kernel %s: For with empty variable", k.Name)
+			}
+			for _, e := range []Expr{st.Lo, st.Hi} {
+				if err := validateExpr(k, e, declared); err != nil {
+					return err
+				}
+			}
+			if err := validateStmts(k, st.Body, declared, depth+1); err != nil {
+				return err
+			}
+		case If:
+			if err := validateExpr(k, st.Cond, declared); err != nil {
+				return err
+			}
+			if err := validateStmts(k, st.Then, declared, depth+1); err != nil {
+				return err
+			}
+			if err := validateStmts(k, st.Else, declared, depth+1); err != nil {
+				return err
+			}
+		case While:
+			if err := validateExpr(k, st.Cond, declared); err != nil {
+				return err
+			}
+			if err := validateStmts(k, st.Body, declared, depth+1); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("kernel %s: unknown statement %T", k.Name, s)
+		}
+	}
+	return nil
+}
+
+func validateAccess(k *Kernel, a Access, declared map[*Array]bool) error {
+	if a.A == nil || !declared[a.A] {
+		return fmt.Errorf("kernel %s: access to undeclared array", k.Name)
+	}
+	if a.Field < 0 || a.Field >= a.A.FieldCount() {
+		return fmt.Errorf("kernel %s: array %s field %d out of range [0,%d)",
+			k.Name, a.A.Name, a.Field, a.A.FieldCount())
+	}
+	return validateExpr(k, a.Idx, declared)
+}
+
+var validFns = map[string]int{
+	"sqrt": 1, "rsqrt": 1, "rcp": 1, "exp": 1, "log": 1, "sin": 1, "cos": 1,
+	"abs": 1, "neg": 1, "floor": 1, "not": 1,
+	"min": 2, "max": 2,
+	"select": 3,
+}
+
+func validateExpr(k *Kernel, e Expr, declared map[*Array]bool) error {
+	switch x := e.(type) {
+	case Num:
+		return nil
+	case Var:
+		if x.Name == "" {
+			return fmt.Errorf("kernel %s: empty variable reference", k.Name)
+		}
+		return nil
+	case Access:
+		return validateAccess(k, x, declared)
+	case Bin:
+		if err := validateExpr(k, x.L, declared); err != nil {
+			return err
+		}
+		return validateExpr(k, x.R, declared)
+	case Call:
+		want, ok := validFns[x.Fn]
+		if !ok {
+			return fmt.Errorf("kernel %s: unknown builtin %q", k.Name, x.Fn)
+		}
+		if len(x.Args) != want {
+			return fmt.Errorf("kernel %s: builtin %s takes %d args, got %d", k.Name, x.Fn, want, len(x.Args))
+		}
+		for _, a := range x.Args {
+			if err := validateExpr(k, a, declared); err != nil {
+				return err
+			}
+		}
+		return nil
+	case nil:
+		return fmt.Errorf("kernel %s: nil expression", k.Name)
+	default:
+		return fmt.Errorf("kernel %s: unknown expression %T", k.Name, e)
+	}
+}

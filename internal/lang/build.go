@@ -1,0 +1,88 @@
+package lang
+
+// Expression construction helpers. Kernels read much closer to the C they
+// model when built with these.
+
+// N is a numeric literal.
+func N(v float64) Expr { return Num{V: v} }
+
+// V references a scalar local.
+func V(name string) Expr { return Var{Name: name} }
+
+// At indexes a plain array (field 0).
+func At(a *Array, idx Expr) Expr { return Access{A: a, Idx: idx} }
+
+// AtF indexes one field of a record array.
+func AtF(a *Array, idx Expr, field int) Expr { return Access{A: a, Idx: idx, Field: field} }
+
+// LAt is At usable as an assignment target.
+func LAt(a *Array, idx Expr) Access { return Access{A: a, Idx: idx} }
+
+// LAtF is AtF usable as an assignment target.
+func LAtF(a *Array, idx Expr, field int) Access { return Access{A: a, Idx: idx, Field: field} }
+
+// AddX returns l + r (named to avoid clashing with the BinOp constant).
+func AddX(l, r Expr) Expr { return Bin{Op: Add, L: l, R: r} }
+
+// SubX returns l - r.
+func SubX(l, r Expr) Expr { return Bin{Op: Sub, L: l, R: r} }
+
+// MulX returns l * r.
+func MulX(l, r Expr) Expr { return Bin{Op: Mul, L: l, R: r} }
+
+// DivX returns l / r.
+func DivX(l, r Expr) Expr { return Bin{Op: Div, L: l, R: r} }
+
+// LtX returns l < r.
+func LtX(l, r Expr) Expr { return Bin{Op: Lt, L: l, R: r} }
+
+// LeX returns l <= r.
+func LeX(l, r Expr) Expr { return Bin{Op: Le, L: l, R: r} }
+
+// GtX returns l > r.
+func GtX(l, r Expr) Expr { return Bin{Op: Gt, L: l, R: r} }
+
+// GeX returns l >= r.
+func GeX(l, r Expr) Expr { return Bin{Op: Ge, L: l, R: r} }
+
+// EqX returns l == r.
+func EqX(l, r Expr) Expr { return Bin{Op: Eq, L: l, R: r} }
+
+// NeX returns l != r.
+func NeX(l, r Expr) Expr { return Bin{Op: Ne, L: l, R: r} }
+
+// AndX returns l && r.
+func AndX(l, r Expr) Expr { return Bin{Op: And, L: l, R: r} }
+
+// OrX returns l || r.
+func OrX(l, r Expr) Expr { return Bin{Op: Or, L: l, R: r} }
+
+// Fn calls a math builtin.
+func Fn(name string, args ...Expr) Expr { return Call{Fn: name, Args: args} }
+
+// Sqrt returns sqrt(x).
+func Sqrt(x Expr) Expr { return Fn("sqrt", x) }
+
+// Rsqrt returns the fast reciprocal square root of x.
+func Rsqrt(x Expr) Expr { return Fn("rsqrt", x) }
+
+// Exp returns e**x.
+func Exp(x Expr) Expr { return Fn("exp", x) }
+
+// Log returns ln(x).
+func Log(x Expr) Expr { return Fn("log", x) }
+
+// Abs returns |x|.
+func Abs(x Expr) Expr { return Fn("abs", x) }
+
+// Min2 returns min(l, r).
+func Min2(l, r Expr) Expr { return Fn("min", l, r) }
+
+// Max2 returns max(l, r).
+func Max2(l, r Expr) Expr { return Fn("max", l, r) }
+
+// Floor returns the floor of x.
+func Floor(x Expr) Expr { return Fn("floor", x) }
+
+// Select returns cond ? a : b.
+func Select(cond, a, b Expr) Expr { return Fn("select", cond, a, b) }

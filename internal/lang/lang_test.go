@@ -1,0 +1,205 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleKernel() *Kernel {
+	x := &Array{Name: "x", Elem: F32, Len: 100, Restrict: true}
+	y := &Array{Name: "y", Elem: F32, Len: 100}
+	return &Kernel{
+		Name:   "axpy",
+		Arrays: []*Array{x, y},
+		Body: []Stmt{
+			For{Var: "i", Lo: N(0), Hi: N(100), Body: []Stmt{
+				Assign{LHS: LAt(y, V("i")),
+					X: AddX(MulX(N(2), At(x, V("i"))), At(y, V("i")))},
+			}},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := sampleKernel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadKernels(t *testing.T) {
+	x := &Array{Name: "x", Elem: F32, Len: 10}
+	undeclared := &Array{Name: "ghost", Elem: F32, Len: 10}
+	cases := []struct {
+		name string
+		k    *Kernel
+	}{
+		{"undeclared array", &Kernel{Name: "k", Arrays: []*Array{x},
+			Body: []Stmt{Assign{LHS: LAt(undeclared, N(0)), X: N(1)}}}},
+		{"bad field", &Kernel{Name: "k", Arrays: []*Array{x},
+			Body: []Stmt{Assign{LHS: LAtF(x, N(0), 3), X: N(1)}}}},
+		{"unknown builtin", &Kernel{Name: "k", Arrays: []*Array{x},
+			Body: []Stmt{Let{Name: "a", X: Fn("tanh", N(1))}}}},
+		{"wrong arity", &Kernel{Name: "k", Arrays: []*Array{x},
+			Body: []Stmt{Let{Name: "a", X: Fn("min", N(1))}}}},
+		{"nil expr", &Kernel{Name: "k", Arrays: []*Array{x},
+			Body: []Stmt{Let{Name: "a"}}}},
+		{"empty let", &Kernel{Name: "k", Arrays: []*Array{x},
+			Body: []Stmt{Let{X: N(1)}}}},
+		{"empty loop var", &Kernel{Name: "k", Arrays: []*Array{x},
+			Body: []Stmt{For{Lo: N(0), Hi: N(1)}}}},
+		{"dup arrays", &Kernel{Name: "k", Arrays: []*Array{x, {Name: "x", Elem: F32, Len: 5}}}},
+		{"zero len", &Kernel{Name: "k", Arrays: []*Array{{Name: "z", Elem: F32}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.k.Validate(); err == nil {
+			t.Errorf("%s: Validate did not fail", tc.name)
+		}
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want float64
+		ok   bool
+	}{
+		{N(3), 3, true},
+		{AddX(N(1), N(2)), 3, true},
+		{MulX(N(4), SubX(N(5), N(3))), 8, true},
+		{DivX(N(9), N(3)), 3, true},
+		{DivX(N(9), N(0)), 0, false},
+		{V("i"), 0, false},
+		{AddX(N(1), V("i")), 0, false},
+		{LtX(N(1), N(2)), 0, false}, // comparisons do not fold
+	}
+	for i, tc := range cases {
+		got, ok := EvalConst(tc.e)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("case %d: EvalConst = (%g, %v), want (%g, %v)", i, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestVarsUsed(t *testing.T) {
+	x := &Array{Name: "x", Elem: F32, Len: 10}
+	e := AddX(At(x, V("i")), Fn("min", V("j"), N(3)))
+	got := map[string]bool{}
+	VarsUsed(e, got)
+	if !got["i"] || !got["j"] || len(got) != 2 {
+		t.Errorf("VarsUsed = %v, want {i,j}", got)
+	}
+}
+
+func TestCollectArrayUse(t *testing.T) {
+	k := sampleKernel()
+	u := NewArrayUse()
+	CollectArrayUse(k.Body, u)
+	x, y := k.Arrays[0], k.Arrays[1]
+	if !u.Reads[x] || !u.Reads[y] {
+		t.Error("reads of x and y not collected")
+	}
+	if u.Writes[x] || !u.Writes[y] {
+		t.Errorf("writes wrong: %v", u.Writes)
+	}
+}
+
+func TestCountStmts(t *testing.T) {
+	k := sampleKernel()
+	if n := CountStmts(k.Body); n != 2 { // for + assign
+		t.Errorf("CountStmts = %d, want 2", n)
+	}
+	nested := []Stmt{
+		For{Var: "i", Lo: N(0), Hi: N(4), Body: []Stmt{
+			If{Cond: N(1), Then: []Stmt{Let{Name: "a", X: N(1)}},
+				Else: []Stmt{Let{Name: "b", X: N(2)}}},
+			While{Cond: N(0), Body: []Stmt{Let{Name: "c", X: N(3)}}},
+		}},
+	}
+	if n := CountStmts(nested); n != 6 {
+		t.Errorf("CountStmts nested = %d, want 6", n)
+	}
+}
+
+func TestHasInnerControl(t *testing.T) {
+	k := sampleKernel()
+	outer := k.Body[0].(For)
+	if HasInnerControl(outer.Body) {
+		t.Error("flat loop body misreported as having control")
+	}
+	withIf := []Stmt{If{Cond: N(1), Then: []Stmt{For{Var: "j", Lo: N(0), Hi: N(1)}}}}
+	if !HasInnerControl(withIf) {
+		t.Error("loop under if not detected")
+	}
+}
+
+func TestAssignedVars(t *testing.T) {
+	body := []Stmt{
+		Let{Name: "a", X: N(1)},
+		If{Cond: N(1), Then: []Stmt{Let{Name: "b", X: N(2)}}},
+		For{Var: "i", Lo: N(0), Hi: N(3), Body: []Stmt{Let{Name: "c", X: N(0)}}},
+	}
+	got := map[string]bool{}
+	AssignedVars(body, got)
+	for _, want := range []string{"a", "b", "c", "i"} {
+		if !got[want] {
+			t.Errorf("AssignedVars missing %s (got %v)", want, got)
+		}
+	}
+}
+
+func TestPrintRendersAnnotations(t *testing.T) {
+	x := &Array{Name: "x", Elem: F32, Len: 8, Restrict: true, Fields: 3}
+	k := &Kernel{Name: "demo", Arrays: []*Array{x}, Body: []Stmt{
+		For{Var: "i", Lo: N(0), Hi: N(8), Parallel: true, Simd: true, Unroll: 4, Body: []Stmt{
+			Assign{LHS: LAtF(x, V("i"), 1), X: Select(LtX(V("i"), N(4)), N(1), N(0))},
+		}},
+	}}
+	s := k.Print()
+	for _, want := range []string{
+		"#pragma omp parallel for", "#pragma simd", "#pragma unroll(4)",
+		"restrict", "3 fields", "AoS", "x[i].f1", "select((i < 4), 1, 0)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Print missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTypeHelpers(t *testing.T) {
+	if F32.Bytes() != 4 || F64.Bytes() != 8 {
+		t.Error("type byte widths wrong")
+	}
+	if F32.String() != "f32" || F64.String() != "f64" {
+		t.Error("type names wrong")
+	}
+	a := &Array{Name: "a", Elem: F32, Len: 10, Fields: 4}
+	if a.FlatLen() != 40 || a.FieldCount() != 4 {
+		t.Error("record array geometry wrong")
+	}
+	b := &Array{Name: "b", Elem: F32, Len: 10}
+	if b.FlatLen() != 10 || b.FieldCount() != 1 {
+		t.Error("plain array geometry wrong")
+	}
+}
+
+func TestBinOpString(t *testing.T) {
+	if Add.String() != "+" || Le.String() != "<=" || Or.String() != "||" {
+		t.Error("operator tokens wrong")
+	}
+	if BinOp(99).String() == "" {
+		t.Error("out-of-range op should stringify")
+	}
+}
+
+// Property: EvalConst on a fold of random constants matches Go arithmetic.
+func TestEvalConstProperty(t *testing.T) {
+	f := func(a, b int16) bool {
+		x, y := float64(a), float64(b)
+		got, ok := EvalConst(AddX(MulX(N(x), N(2)), N(y)))
+		return ok && got == x*2+y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

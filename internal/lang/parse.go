@@ -1,0 +1,597 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a kernel written in the restricted-C surface syntax:
+//
+//	kernel saxpy(f32 restrict x[4096], f32 restrict y[4096]) {
+//	    #pragma omp parallel for
+//	    #pragma simd
+//	    for (i = 0; i < 4096; i++) {
+//	        y[i] = 2.5 * x[i] + y[i];
+//	    }
+//	}
+//
+// Arrays may declare record layouts: `f32 pos[1024 fields 4 soa]`; record
+// fields are accessed as `pos[i].f2`. Statements are scalar assignments
+// (`acc = acc + x[i];`, with `+=`, `-=`, `*=` sugar), array stores, `for`
+// loops (with `#pragma omp parallel for`, `#pragma simd`, `#pragma ivdep`,
+// `#pragma unroll(n)`, `#pragma schedule(dynamic, n)` and
+// `#pragma miss(p)` annotations applying to the next statement), `if`/
+// `else`, and `while`. Expressions support arithmetic, comparisons,
+// `&&`/`||`/`!`, and the math builtins (sqrt, rsqrt, rcp, exp, log, sin,
+// cos, abs, floor, min, max, select).
+func Parse(src string) (*Kernel, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, arrays: map[string]*Array{}}
+	k, err := p.kernel()
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	arrays map[string]*Array
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(text string) error {
+	t := p.next()
+	if t.text != text {
+		return fmt.Errorf("line %d: expected %q, got %q", t.line, text, t.text)
+	}
+	return nil
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// kernel := "kernel" ident "(" decls ")" "{" stmts "}"
+func (p *parser) kernel() (*Kernel, error) {
+	if err := p.expect("kernel"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected kernel name", name.line)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	k := &Kernel{Name: name.text}
+	for !p.accept(")") {
+		a, err := p.arrayDecl()
+		if err != nil {
+			return nil, err
+		}
+		k.Arrays = append(k.Arrays, a)
+		p.arrays[a.Name] = a
+		p.accept(",")
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts()
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// arrayDecl := ("f32"|"f64") ["restrict"] ident "[" int ["fields" int ["soa"|"aos"]] "]"
+func (p *parser) arrayDecl() (*Array, error) {
+	a := &Array{}
+	switch p.next().text {
+	case "f32":
+		a.Elem = F32
+	case "f64":
+		a.Elem = F64
+	default:
+		return nil, p.errf("expected f32 or f64 in array declaration")
+	}
+	if p.accept("restrict") {
+		a.Restrict = true
+	}
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected array name", name.line)
+	}
+	a.Name = name.text
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	lenTok := p.next()
+	if lenTok.kind != tokNumber {
+		return nil, fmt.Errorf("line %d: expected array length", lenTok.line)
+	}
+	n, err := strconv.Atoi(lenTok.text)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: bad array length %q", lenTok.line, lenTok.text)
+	}
+	a.Len = n
+	if p.accept("fields") {
+		fTok := p.next()
+		f, err := strconv.Atoi(fTok.text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad field count %q", fTok.line, fTok.text)
+		}
+		a.Fields = f
+		if p.accept("soa") {
+			a.SoA = true
+		} else {
+			p.accept("aos")
+		}
+	}
+	return a, p.expect("]")
+}
+
+// pragmaSet accumulates annotations that apply to the next statement.
+type pragmaSet struct {
+	parallel bool
+	simd     bool
+	ivdep    bool
+	unroll   int
+	chunk    int
+	miss     float64
+}
+
+func (p *parser) pragma(ps *pragmaSet) error {
+	line := strings.TrimPrefix(p.next().text, "#pragma")
+	line = strings.TrimSpace(line)
+	switch {
+	case strings.HasPrefix(line, "omp parallel for") || line == "parallel for" || line == "parallel":
+		ps.parallel = true
+	case line == "simd":
+		ps.simd = true
+	case line == "ivdep":
+		ps.ivdep = true
+	case strings.HasPrefix(line, "unroll"):
+		n, err := pragmaArg(line)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		ps.unroll = int(n)
+	case strings.HasPrefix(line, "schedule"):
+		inner := line[strings.Index(line, "(")+1 : strings.LastIndex(line, ")")]
+		parts := strings.Split(inner, ",")
+		if len(parts) == 2 {
+			n, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return p.errf("bad schedule chunk in %q", line)
+			}
+			ps.chunk = n
+		}
+	case strings.HasPrefix(line, "miss"):
+		v, err := pragmaArg(line)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		ps.miss = v
+	default:
+		return p.errf("unknown pragma %q", line)
+	}
+	return nil
+}
+
+func pragmaArg(line string) (float64, error) {
+	open, close := strings.Index(line, "("), strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return 0, fmt.Errorf("pragma %q needs a (value)", line)
+	}
+	return strconv.ParseFloat(strings.TrimSpace(line[open+1:close]), 64)
+}
+
+func (p *parser) stmts() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		switch {
+		case p.cur().text == "}" || p.cur().kind == tokEOF:
+			return out, nil
+		default:
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				out = append(out, s)
+			}
+		}
+	}
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	var ps pragmaSet
+	for p.cur().kind == tokPragma {
+		if err := p.pragma(&ps); err != nil {
+			return nil, err
+		}
+	}
+	switch p.cur().text {
+	case "for":
+		return p.forStmt(ps)
+	case "if":
+		return p.ifStmt(ps)
+	case "while":
+		return p.whileStmt(ps)
+	}
+	return p.assignStmt()
+}
+
+// forStmt := "for" "(" ident "=" expr ";" ident "<" expr ";" ident "++" ")" block
+func (p *parser) forStmt(ps pragmaSet) (Stmt, error) {
+	p.next() // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	v := p.next()
+	if v.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected loop variable", v.line)
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.next().text != v.text {
+		return nil, p.errf("loop condition must test %q", v.text)
+	}
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.next().text != v.text {
+		return nil, p.errf("loop increment must update %q", v.text)
+	}
+	if err := p.expect("++"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return For{Var: v.text, Lo: lo, Hi: hi, Body: body,
+		Parallel: ps.parallel, Simd: ps.simd, Ivdep: ps.ivdep,
+		Unroll: ps.unroll, Chunk: ps.chunk}, nil
+}
+
+func (p *parser) ifStmt(ps pragmaSet) (Stmt, error) {
+	p.next() // if
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.accept("else") {
+		els, err = p.block()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return If{Cond: cond, Then: then, Else: els, MissProb: ps.miss}, nil
+}
+
+func (p *parser) whileStmt(ps pragmaSet) (Stmt, error) {
+	p.next() // while
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return While{Cond: cond, Body: body, MissProb: ps.miss}, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts()
+	if err != nil {
+		return nil, err
+	}
+	return body, p.expect("}")
+}
+
+// assignStmt := ident op expr ";" | arrayref op expr ";"
+// where op is one of = += -= *=.
+func (p *parser) assignStmt() (Stmt, error) {
+	name := p.next()
+	if name.kind != tokIdent {
+		return nil, fmt.Errorf("line %d: expected statement, got %q", name.line, name.text)
+	}
+	if a, isArr := p.arrays[name.text]; isArr && p.cur().text == "[" {
+		acc, err := p.arrayRef(a)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := p.assignRHS(acc)
+		if err != nil {
+			return nil, err
+		}
+		return Assign{LHS: acc, X: rhs}, p.expect(";")
+	}
+	rhs, err := p.assignRHS(Var{Name: name.text})
+	if err != nil {
+		return nil, err
+	}
+	return Let{Name: name.text, X: rhs}, p.expect(";")
+}
+
+// assignRHS parses "= e", "+= e", "-= e", "*= e" with lhs as the prior value.
+func (p *parser) assignRHS(lhs Expr) (Expr, error) {
+	op := p.next().text
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "=":
+		return rhs, nil
+	case "+=":
+		return AddX(lhs, rhs), nil
+	case "-=":
+		return SubX(lhs, rhs), nil
+	case "*=":
+		return MulX(lhs, rhs), nil
+	default:
+		return nil, fmt.Errorf("expected assignment operator, got %q", op)
+	}
+}
+
+// arrayRef := "[" expr "]" ["." "f" digits]
+func (p *parser) arrayRef(a *Array) (Access, error) {
+	if err := p.expect("["); err != nil {
+		return Access{}, err
+	}
+	idx, err := p.expr()
+	if err != nil {
+		return Access{}, err
+	}
+	if err := p.expect("]"); err != nil {
+		return Access{}, err
+	}
+	field := 0
+	if p.accept(".") {
+		f := p.next()
+		if !strings.HasPrefix(f.text, "f") {
+			return Access{}, fmt.Errorf("line %d: expected field .fN, got %q", f.line, f.text)
+		}
+		field, err = strconv.Atoi(f.text[1:])
+		if err != nil {
+			return Access{}, fmt.Errorf("line %d: bad field %q", f.line, f.text)
+		}
+	}
+	return Access{A: a, Idx: idx, Field: field}, nil
+}
+
+// Expression parsing: precedence climbing.
+// ||  <  &&  <  comparisons  <  +-  <  */  <  unary  <  primary.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = OrX(l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = AndX(l, r)
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]BinOp{"<": Lt, "<=": Le, ">": Gt, ">=": Ge, "==": Eq, "!=": Ne}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().text]; ok {
+		p.pos++
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Bin{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().text {
+		case "+":
+			p.pos++
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = AddX(l, r)
+		case "-":
+			p.pos++
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = SubX(l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().text {
+		case "*":
+			p.pos++
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = MulX(l, r)
+		case "/":
+			p.pos++
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = DivX(l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	switch p.cur().text {
+	case "-":
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := x.(Num); ok {
+			return Num{V: -n.V}, nil
+		}
+		return Fn("neg", x), nil
+	case "!":
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Fn("not", x), nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		v, err := parseNumber(t.text, t.line)
+		if err != nil {
+			return nil, err
+		}
+		return Num{V: v}, nil
+	case tokIdent:
+		if _, ok := validFns[t.text]; ok && p.cur().text == "(" {
+			p.pos++
+			var args []Expr
+			for !p.accept(")") {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				p.accept(",")
+			}
+			return Call{Fn: t.text, Args: args}, nil
+		}
+		if a, ok := p.arrays[t.text]; ok && p.cur().text == "[" {
+			acc, err := p.arrayRef(a)
+			if err != nil {
+				return nil, err
+			}
+			return acc, nil
+		}
+		return Var{Name: t.text}, nil
+	case tokPunct:
+		if t.text == "(" {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(")")
+		}
+	}
+	return nil, fmt.Errorf("line %d: unexpected token %q in expression", t.line, t.text)
+}

@@ -1,0 +1,109 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the kernel as C-like pseudocode, used by the ninjavec tool
+// to show what each source version looks like.
+func (k *Kernel) Print() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kernel %s(\n", k.Name)
+	for _, a := range k.Arrays {
+		qual := ""
+		if a.Restrict {
+			qual = " restrict"
+		}
+		layout := ""
+		if a.FieldCount() > 1 {
+			layout = fmt.Sprintf(" /* %d fields, %s */", a.FieldCount(), map[bool]string{true: "SoA", false: "AoS"}[a.SoA])
+		}
+		fmt.Fprintf(&sb, "  %s%s %s[%d]%s\n", a.Elem, qual, a.Name, a.Len, layout)
+	}
+	sb.WriteString(") {\n")
+	printStmts(&sb, k.Body, 1)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func printStmts(sb *strings.Builder, body []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range body {
+		switch st := s.(type) {
+		case Let:
+			fmt.Fprintf(sb, "%s%s = %s;\n", ind, st.Name, ExprString(st.X))
+		case Assign:
+			fmt.Fprintf(sb, "%s%s = %s;\n", ind, accessString(st.LHS), ExprString(st.X))
+		case For:
+			var pragmas []string
+			if st.Parallel {
+				pragmas = append(pragmas, "#pragma omp parallel for")
+			}
+			if st.Simd {
+				pragmas = append(pragmas, "#pragma simd")
+			}
+			if st.Ivdep {
+				pragmas = append(pragmas, "#pragma ivdep")
+			}
+			if st.Unroll > 1 {
+				pragmas = append(pragmas, fmt.Sprintf("#pragma unroll(%d)", st.Unroll))
+			}
+			for _, p := range pragmas {
+				fmt.Fprintf(sb, "%s%s\n", ind, p)
+			}
+			fmt.Fprintf(sb, "%sfor (%s = %s; %s < %s; %s++) {\n",
+				ind, st.Var, ExprString(st.Lo), st.Var, ExprString(st.Hi), st.Var)
+			printStmts(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case If:
+			fmt.Fprintf(sb, "%sif (%s) {\n", ind, ExprString(st.Cond))
+			printStmts(sb, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", ind)
+				printStmts(sb, st.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case While:
+			fmt.Fprintf(sb, "%swhile (%s) {\n", ind, ExprString(st.Cond))
+			printStmts(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		}
+	}
+}
+
+// ExprString renders an expression as C-like text.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case Num:
+		return trimFloat(x.V)
+	case Var:
+		return x.Name
+	case Access:
+		return accessString(x)
+	case Bin:
+		return fmt.Sprintf("(%s %s %s)", ExprString(x.L), x.Op, ExprString(x.R))
+	case Call:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", x.Fn, strings.Join(parts, ", "))
+	case nil:
+		return "<nil>"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+func accessString(a Access) string {
+	if a.A.FieldCount() > 1 {
+		return fmt.Sprintf("%s[%s].f%d", a.A.Name, ExprString(a.Idx), a.Field)
+	}
+	return fmt.Sprintf("%s[%s]", a.A.Name, ExprString(a.Idx))
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

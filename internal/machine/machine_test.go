@@ -1,0 +1,182 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestAllSortedByYear(t *testing.T) {
+	ms := All()
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Year < ms[i-1].Year {
+			t.Errorf("All() not sorted: %s (%d) after %s (%d)",
+				ms[i].Name, ms[i].Year, ms[i-1].Name, ms[i-1].Year)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("WestmereX980")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cores != 6 {
+		t.Errorf("WestmereX980 cores = %d, want 6", m.Cores)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestPeakGFlops(t *testing.T) {
+	w := WestmereX980()
+	// 6 cores * 3.33 GHz * 4 lanes * 2 flops/cycle ~= 160 GF/s.
+	got := w.PeakGFlopsF32()
+	if got < 155 || got > 165 {
+		t.Errorf("Westmere peak = %.1f GF/s, want ~160", got)
+	}
+	kf := KnightsFerry()
+	// 32 cores * 1.2 GHz * 16 lanes * 2 = 1228 GF/s.
+	if got := kf.PeakGFlopsF32(); got < 1200 || got > 1260 {
+		t.Errorf("KNF peak = %.1f GF/s, want ~1228", got)
+	}
+}
+
+func TestLanes(t *testing.T) {
+	w := WestmereX980()
+	if w.Lanes(4) != 4 || w.Lanes(8) != 2 {
+		t.Errorf("Westmere lanes: f32=%d f64=%d, want 4/2", w.Lanes(4), w.Lanes(8))
+	}
+	kf := KnightsFerry()
+	if kf.Lanes(4) != 16 || kf.Lanes(8) != 8 {
+		t.Errorf("KNF lanes: f32=%d f64=%d, want 16/8", kf.Lanes(4), kf.Lanes(8))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := WestmereX980()
+	c := m.Clone()
+	c.Caches[0].SizeBytes = 1 << 20
+	c.Cores = 1
+	if m.Caches[0].SizeBytes == 1<<20 {
+		t.Error("Clone shares cache slice with original")
+	}
+	if m.Cores == 1 {
+		t.Error("Clone shares scalar fields with original")
+	}
+}
+
+func TestWithCoresAndFeatures(t *testing.T) {
+	m := WestmereX980()
+	one := m.WithCores(1)
+	if one.Cores != 1 || m.Cores != 6 {
+		t.Errorf("WithCores: got %d/%d, want 1/6", one.Cores, m.Cores)
+	}
+	f := m.Feat
+	f.HWGather = true
+	g := m.WithFeatures(f)
+	if !g.Feat.HWGather || m.Feat.HWGather {
+		t.Error("WithFeatures did not isolate feature change")
+	}
+}
+
+func TestHWThreads(t *testing.T) {
+	if got := WestmereX980().HWThreads(); got != 12 {
+		t.Errorf("Westmere HW threads = %d, want 12", got)
+	}
+	if got := KnightsFerry().HWThreads(); got != 128 {
+		t.Errorf("KNF HW threads = %d, want 128", got)
+	}
+	m := WestmereX980()
+	m.Feat.SMT = 0 // treated as 1
+	if got := m.HWThreads(); got != 6 {
+		t.Errorf("SMT=0 HW threads = %d, want 6", got)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Machine)
+	}{
+		{"no cores", func(m *Machine) { m.Cores = 0 }},
+		{"no freq", func(m *Machine) { m.FreqGHz = 0 }},
+		{"bad widths", func(m *Machine) { m.VecWidthF32 = 1; m.VecWidthF64 = 2 }},
+		{"no caches", func(m *Machine) { m.Caches = nil }},
+		{"no bw", func(m *Machine) { m.Mem.BandwidthGBps = 0 }},
+		{"no mlp", func(m *Machine) { m.Mem.MLP = 0 }},
+		{"bad geometry", func(m *Machine) { m.Caches[0].SizeBytes = 1000 }},
+		{"shrinking levels", func(m *Machine) { m.Caches[1].SizeBytes = 16 << 10 }},
+		{"missing cost", func(m *Machine) { m.SetCost(OpFPAdd, Cost{}) }},
+		{"negative cost", func(m *Machine) { m.SetCost(OpFPAdd, Cost{RecipTput: -1}) }},
+	}
+	for _, tc := range cases {
+		m := WestmereX980()
+		tc.mut(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate did not fail", tc.name)
+		}
+	}
+}
+
+func TestCostOccupancy(t *testing.T) {
+	pip := Cost{RecipTput: 1, Latency: 5, Pipelined: true}
+	if got := pip.Occupancy(4); got != 1 {
+		t.Errorf("pipelined occupancy = %g, want 1", got)
+	}
+	unp := Cost{RecipTput: 14, Latency: 14, Pipelined: false}
+	if got := unp.Occupancy(4); got != 14 {
+		t.Errorf("unpipelined occupancy = %g, want 14", got)
+	}
+	per := Cost{RecipTput: 2, Latency: 6, Pipelined: true, PerElement: true}
+	if got := per.Occupancy(4); got != 8 {
+		t.Errorf("per-element occupancy = %g, want 8", got)
+	}
+}
+
+func TestStringsAreInformative(t *testing.T) {
+	s := WestmereX980().String()
+	for _, want := range []string{"WestmereX980", "6 cores", "4-wide"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if OpFPAdd.String() != "fp-add" {
+		t.Errorf("OpFPAdd.String() = %q", OpFPAdd.String())
+	}
+	if OpClass(99).String() == "" {
+		t.Error("out-of-range OpClass should still stringify")
+	}
+	if PortLoad.String() != "load" {
+		t.Errorf("PortLoad.String() = %q", PortLoad.String())
+	}
+}
+
+func TestLLC(t *testing.T) {
+	w := WestmereX980()
+	if got := w.LLC().Name; got != "L3" {
+		t.Errorf("Westmere LLC = %s, want L3", got)
+	}
+	kf := KnightsFerry() // no shared level; last level returned
+	if got := kf.LLC().Name; got != "L2" {
+		t.Errorf("KNF LLC = %s, want L2", got)
+	}
+}
+
+func TestMICFeatures(t *testing.T) {
+	kf := KnightsFerry()
+	if !kf.Feat.HWGather || !kf.Feat.FMA {
+		t.Error("Knights Ferry must model hardware gather and FMA")
+	}
+	if kf.VecWidthF32 != 16 {
+		t.Errorf("KNF SIMD width = %d, want 16", kf.VecWidthF32)
+	}
+}

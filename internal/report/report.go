@@ -1,0 +1,205 @@
+// Package report renders experiment results as aligned text tables and
+// ASCII bar charts — the harness's equivalent of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned-column table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable starts a table.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are formatted with %v unless already strings.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = FormatG(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatG renders a float compactly (3 significant digits).
+func FormatG(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s", widths[i], c)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// BarChart renders labeled horizontal bars (log or linear), the textual
+// stand-in for the paper's figures.
+type BarChart struct {
+	Title string
+	Unit  string
+	Log   bool // logarithmic bar lengths (for wide-ranging gaps)
+	bars  []bar
+}
+
+type bar struct {
+	label string
+	value float64
+	note  string
+}
+
+// NewBarChart starts a chart.
+func NewBarChart(title, unit string, log bool) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Log: log}
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64, note string) {
+	c.bars = append(c.bars, bar{label, value, note})
+}
+
+// String renders the chart 60 columns wide.
+func (c *BarChart) String() string {
+	const width = 56
+	var sb strings.Builder
+	sb.WriteString(c.Title)
+	sb.WriteByte('\n')
+	sb.WriteString(strings.Repeat("=", len(c.Title)))
+	sb.WriteByte('\n')
+	maxv, maxl := 0.0, 0
+	for _, b := range c.bars {
+		if b.value > maxv {
+			maxv = b.value
+		}
+		if len(b.label) > maxl {
+			maxl = len(b.label)
+		}
+	}
+	if maxv <= 0 {
+		maxv = 1
+	}
+	for _, b := range c.bars {
+		frac := 0.0
+		if c.Log {
+			if b.value > 1 {
+				frac = math.Log(b.value) / math.Log(math.Max(maxv, math.E))
+			}
+		} else if b.value > 0 {
+			frac = b.value / maxv
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		n := int(frac*width + 0.5)
+		fmt.Fprintf(&sb, "%-*s |%-*s %8s%s", maxl, b.label, width, strings.Repeat("#", n),
+			FormatG(b.value), c.Unit)
+		if b.note != "" {
+			sb.WriteString("  " + b.note)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Geomean returns the geometric mean of positive values (0 if empty).
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+// Mean returns the arithmetic mean (0 if empty).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Max returns the maximum (0 if empty).
+func Max(vals []float64) float64 {
+	m := 0.0
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

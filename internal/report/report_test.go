@@ -1,0 +1,109 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Add("alpha", 1.5)
+	tb.Add("beta", 123456.0)
+	tb.Add("gamma", 42)
+	s := tb.String()
+	for _, want := range []string{"demo", "name", "alpha", "1.50", "123456", "42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + rule + header + separator + 3 rows
+	if len(lines) != 7 {
+		t.Errorf("table has %d lines, want 7:\n%s", len(lines), s)
+	}
+}
+
+func TestBarChartLinearAndLog(t *testing.T) {
+	for _, logScale := range []bool{false, true} {
+		c := NewBarChart("gaps", "x", logScale)
+		c.Add("small", 2, "")
+		c.Add("big", 64, "note")
+		s := c.String()
+		if !strings.Contains(s, "small") || !strings.Contains(s, "big") || !strings.Contains(s, "note") {
+			t.Errorf("chart missing labels:\n%s", s)
+		}
+		smallLine, bigLine := "", ""
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "small") {
+				smallLine = l
+			}
+			if strings.HasPrefix(l, "big") {
+				bigLine = l
+			}
+		}
+		if strings.Count(bigLine, "#") <= strings.Count(smallLine, "#") {
+			t.Errorf("log=%v: larger value must have longer bar:\n%s", logScale, s)
+		}
+	}
+}
+
+func TestBarChartDegenerate(t *testing.T) {
+	c := NewBarChart("empty-ish", "x", false)
+	c.Add("zero", 0, "")
+	if s := c.String(); !strings.Contains(s, "zero") {
+		t.Errorf("zero-value chart broken:\n%s", s)
+	}
+}
+
+func TestStats(t *testing.T) {
+	if Geomean(nil) != 0 || Mean(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty stats should be zero")
+	}
+	vals := []float64{2, 8}
+	if m := Geomean(vals); math.Abs(m-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %g, want 4", m)
+	}
+	if m := Mean(vals); m != 5 {
+		t.Errorf("Mean(2,8) = %g, want 5", m)
+	}
+	if m := Max(vals); m != 8 {
+		t.Errorf("Max(2,8) = %g, want 8", m)
+	}
+	if Geomean([]float64{1, -1}) != 0 {
+		t.Error("Geomean with nonpositive input should be 0")
+	}
+}
+
+// Property: geomean lies between min and max for positive inputs.
+func TestGeomeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var vals []float64
+		for _, r := range raw {
+			vals = append(vals, float64(r)+1)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		g := Geomean(vals)
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatG(t *testing.T) {
+	cases := map[float64]string{0: "0", 1234: "1234", 42.35: "42.4", 3.14159: "3.14"}
+	for v, want := range cases {
+		if got := FormatG(v); got != want {
+			t.Errorf("FormatG(%g) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package vm
+
+import "fmt"
+
+// Builder assembles VM programs with automatic register allocation. Ninja
+// kernels (hand-written VM code) and the compiler's code generator both use
+// it. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	prog   *Prog
+	stack  []*[]Instr // innermost body last
+	frozen bool
+}
+
+// NewBuilder starts a program. The dominant element width defaults to 4
+// bytes (single precision); set with ElemBytes.
+func NewBuilder(name string) *Builder {
+	p := &Prog{Name: name, ElemBytes: 4}
+	b := &Builder{prog: p}
+	b.stack = append(b.stack, &p.Body)
+	return b
+}
+
+// ElemBytes sets the program's dominant element width (4 or 8).
+func (b *Builder) ElemBytes(n int) { b.prog.ElemBytes = n }
+
+// Reg allocates a fresh virtual register.
+func (b *Builder) Reg() int {
+	r := b.prog.NumRegs
+	b.prog.NumRegs++
+	return r
+}
+
+// Array declares (or reuses) an array reference and returns its index.
+func (b *Builder) Array(name string, elemBytes int) int {
+	if i := b.prog.ArrayIndex(name); i >= 0 {
+		return i
+	}
+	b.prog.Arrays = append(b.prog.Arrays, ArrayRef{Name: name, ElemBytes: elemBytes})
+	return len(b.prog.Arrays) - 1
+}
+
+// Emit appends a raw instruction to the current body.
+func (b *Builder) Emit(in Instr) {
+	cur := b.stack[len(b.stack)-1]
+	*cur = append(*cur, in)
+}
+
+// Op2 emits Dst = a op bReg and returns the destination register.
+func (b *Builder) Op2(op Op, a, bReg int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: op, Dst: d, A: a, B: bReg})
+	return d
+}
+
+// Op1 emits Dst = op(a) and returns the destination register.
+func (b *Builder) Op1(op Op, a int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: op, Dst: d, A: a})
+	return d
+}
+
+// Addr2 emits a binary op flagged as address arithmetic (charged to the
+// integer ALU).
+func (b *Builder) Addr2(op Op, a, bReg int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: op, Dst: d, A: a, B: bReg, Addr: true})
+	return d
+}
+
+// ScalarAddr2 emits a scalar (lane-0) address-arithmetic op.
+func (b *Builder) ScalarAddr2(op Op, a, bReg int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: op, Dst: d, A: a, B: bReg, Scalar: true, Addr: true})
+	return d
+}
+
+// Scalar2 emits a scalar (lane-0) binary op.
+func (b *Builder) Scalar2(op Op, a, bReg int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: op, Dst: d, A: a, B: bReg, Scalar: true})
+	return d
+}
+
+// Scalar1 emits a scalar (lane-0) unary op.
+func (b *Builder) Scalar1(op Op, a int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: op, Dst: d, A: a, Scalar: true})
+	return d
+}
+
+// Const materializes an immediate in all lanes.
+func (b *Builder) Const(v float64) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: OpConst, Dst: d, Imm: v})
+	return d
+}
+
+// Iota emits Dst lane l = start + l.
+func (b *Builder) Iota(start float64) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: OpIota, Dst: d, Imm: start})
+	return d
+}
+
+// FMA emits Dst = a*bReg + c.
+func (b *Builder) FMA(a, bReg, c int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: OpFMA, Dst: d, A: a, B: bReg, C: c})
+	return d
+}
+
+// Blend emits Dst = mask ? a : bReg.
+func (b *Builder) Blend(a, bReg, mask int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: OpBlend, Dst: d, A: a, B: bReg, C: mask})
+	return d
+}
+
+// Load emits a vector load: Dst lane l = arr[base.lane0 + l*stride].
+func (b *Builder) Load(arr, base, stride int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: OpLoad, Dst: d, A: base, Arr: arr, Stride: stride})
+	return d
+}
+
+// LoadScalar emits a lane-0 load.
+func (b *Builder) LoadScalar(arr, base int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: OpLoad, Dst: d, A: base, Arr: arr, Scalar: true})
+	return d
+}
+
+// Store emits a vector store: arr[base.lane0 + l*stride] = val.
+func (b *Builder) Store(arr, val, base, stride int) {
+	b.Emit(Instr{Op: OpStore, A: val, B: base, Arr: arr, Stride: stride})
+}
+
+// StoreScalar emits a lane-0 store.
+func (b *Builder) StoreScalar(arr, val, base int) {
+	b.Emit(Instr{Op: OpStore, A: val, B: base, Arr: arr, Scalar: true})
+}
+
+// Gather emits Dst lane l = arr[idx.lane l].
+func (b *Builder) Gather(arr, idx int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: OpGather, Dst: d, A: idx, Arr: arr})
+	return d
+}
+
+// Scatter emits arr[idx.lane l] = val.lane l.
+func (b *Builder) Scatter(arr, val, idx int) {
+	b.Emit(Instr{Op: OpScatter, A: val, B: idx, Arr: arr})
+}
+
+// Shuffle emits a lane permutation of a.
+func (b *Builder) Shuffle(a int, pattern []int) int {
+	d := b.Reg()
+	b.Emit(Instr{Op: OpShuffle, Dst: d, A: a, Pattern: pattern})
+	return d
+}
+
+// Broadcast emits Dst lanes = a.lane0.
+func (b *Builder) Broadcast(a int) int { return b.Op1(OpBroadcast, a) }
+
+// MaskMov materializes the current execution mask as 0/1 lanes.
+func (b *Builder) MaskMov() int {
+	d := b.Reg()
+	b.Emit(Instr{Op: OpMaskMov, Dst: d})
+	return d
+}
+
+// OpenLoop opens a loop with full generality: parallel or not, vector or
+// scalar, static count or dynamic (countReg >= 0). Returns the induction
+// register. Close with End.
+func (b *Builder) OpenLoop(parallel, vec bool, lo, count int64, countReg int) int {
+	iv := b.Reg()
+	op := OpLoop
+	if parallel {
+		op = OpParLoop
+	}
+	if countReg < 0 && count < 0 {
+		count = 0
+	}
+	b.open(Instr{Op: op, Dst: iv, Lo: lo, Count: count, CountReg: countReg, Vec: vec})
+	return iv
+}
+
+// SetChunk sets the dynamic-schedule chunk size on the innermost open
+// parallel loop.
+func (b *Builder) SetChunk(n int) {
+	if len(b.stack) < 2 {
+		panic("vm: SetChunk outside a loop")
+	}
+	parent := *b.stack[len(b.stack)-2]
+	last := &parent[len(parent)-1]
+	if last.Op != OpParLoop {
+		panic("vm: SetChunk: innermost open construct is not a parloop")
+	}
+	last.Chunk = n
+}
+
+// open pushes a control instruction and makes its body current. The caller
+// must End() it.
+func (b *Builder) open(in Instr) {
+	cur := b.stack[len(b.stack)-1]
+	*cur = append(*cur, in)
+	last := &(*cur)[len(*cur)-1]
+	b.stack = append(b.stack, &last.Body)
+}
+
+// Loop opens a scalar loop over [lo, lo+count); returns the induction
+// register. Close with End.
+func (b *Builder) Loop(lo, count int64) int {
+	iv := b.Reg()
+	b.open(Instr{Op: OpLoop, Dst: iv, Lo: lo, Count: count, CountReg: -1})
+	return iv
+}
+
+// LoopDyn opens a scalar loop whose trip count is countReg's lane 0.
+func (b *Builder) LoopDyn(lo int64, countReg int) int {
+	iv := b.Reg()
+	b.open(Instr{Op: OpLoop, Dst: iv, Lo: lo, CountReg: countReg})
+	return iv
+}
+
+// VecLoop opens a vector loop over [lo, lo+count): induction lane l =
+// lo + i*W + l with a masked tail. Returns the induction register.
+func (b *Builder) VecLoop(lo, count int64) int {
+	iv := b.Reg()
+	b.open(Instr{Op: OpLoop, Dst: iv, Lo: lo, Count: count, CountReg: -1, Vec: true})
+	return iv
+}
+
+// ParLoop opens a top-level parallel loop (scalar induction).
+func (b *Builder) ParLoop(lo, count int64) int {
+	iv := b.Reg()
+	b.open(Instr{Op: OpParLoop, Dst: iv, Lo: lo, Count: count, CountReg: -1})
+	return iv
+}
+
+// ParVecLoop opens a top-level parallel vector loop.
+func (b *Builder) ParVecLoop(lo, count int64) int {
+	iv := b.Reg()
+	b.open(Instr{Op: OpParLoop, Dst: iv, Lo: lo, Count: count, CountReg: -1, Vec: true})
+	return iv
+}
+
+// Reduce declares cross-thread reduction registers on the innermost open
+// parallel loop. Must be called between ParLoop and its End.
+func (b *Builder) Reduce(op Op, regs ...int) {
+	// The open parloop is the instruction whose body is current.
+	if len(b.stack) < 2 {
+		panic("vm: Reduce outside a loop")
+	}
+	parent := *b.stack[len(b.stack)-2]
+	last := &parent[len(parent)-1]
+	if last.Op != OpParLoop {
+		panic("vm: Reduce: innermost open construct is not a parloop")
+	}
+	last.ReduceOp = op
+	last.ReduceRegs = append(last.ReduceRegs, regs...)
+}
+
+// While opens a while loop that repeats while condReg has any active
+// non-zero lane. The body must update condReg.
+func (b *Builder) While(condReg int, missProb float64) {
+	b.open(Instr{Op: OpWhile, A: condReg, MissProb: missProb})
+}
+
+// If opens a scalar branch on condReg lane 0. Use Else to switch branches.
+func (b *Builder) If(condReg int, missProb float64) {
+	b.open(Instr{Op: OpIf, A: condReg, MissProb: missProb})
+}
+
+// Else switches the innermost open OpIf from its then-body to its else-body.
+func (b *Builder) Else() {
+	if len(b.stack) < 2 {
+		panic("vm: Else outside a branch")
+	}
+	parent := *b.stack[len(b.stack)-2]
+	last := &parent[len(parent)-1]
+	if last.Op != OpIf {
+		panic("vm: Else: innermost open construct is not an if")
+	}
+	b.stack[len(b.stack)-1] = &last.Else
+}
+
+// IfMask opens a predicated region under maskReg.
+func (b *Builder) IfMask(maskReg int) {
+	b.open(Instr{Op: OpIfMask, A: maskReg})
+}
+
+// End closes the innermost open control construct.
+func (b *Builder) End() {
+	if len(b.stack) <= 1 {
+		panic("vm: End without open construct")
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+}
+
+// SetUnroll sets the unroll factor on the innermost open loop.
+func (b *Builder) SetUnroll(u int) {
+	if len(b.stack) < 2 {
+		panic("vm: SetUnroll outside a loop")
+	}
+	parent := *b.stack[len(b.stack)-2]
+	last := &parent[len(parent)-1]
+	if last.Op != OpLoop && last.Op != OpParLoop {
+		panic("vm: SetUnroll: innermost open construct is not a loop")
+	}
+	last.Unroll = u
+}
+
+// MarkCarried flags the most recently emitted instruction in the current
+// body as being on a loop-carried dependence chain.
+func (b *Builder) MarkCarried() {
+	cur := *b.stack[len(b.stack)-1]
+	if len(cur) == 0 {
+		panic("vm: MarkCarried with empty body")
+	}
+	(*b.stack[len(b.stack)-1])[len(cur)-1].Carried = true
+}
+
+// Build finalizes and validates the program.
+func (b *Builder) Build() (*Prog, error) {
+	if b.frozen {
+		return nil, fmt.Errorf("vm: builder already built")
+	}
+	if len(b.stack) != 1 {
+		return nil, fmt.Errorf("vm: %d unclosed control constructs", len(b.stack)-1)
+	}
+	b.frozen = true
+	if b.prog.NumRegs == 0 {
+		b.prog.NumRegs = 1
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build that panics on error; for hand-written ninja kernels
+// whose structure is fixed at compile time.
+func (b *Builder) MustBuild() *Prog {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

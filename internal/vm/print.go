@@ -1,0 +1,113 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the program as indented pseudo-assembly, for the ninjavec
+// tool and for debugging codegen.
+func (p *Prog) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "prog %s (regs=%d)\n", p.Name, p.NumRegs)
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&sb, "  array %s elem=%dB\n", a.Name, a.ElemBytes)
+	}
+	dumpBody(&sb, p.Body, p, 1)
+	return sb.String()
+}
+
+func dumpBody(sb *strings.Builder, body []Instr, p *Prog, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for i := range body {
+		in := &body[i]
+		sb.WriteString(ind)
+		sb.WriteString(formatInstr(in, p))
+		sb.WriteByte('\n')
+		if len(in.Body) > 0 {
+			dumpBody(sb, in.Body, p, depth+1)
+		}
+		if len(in.Else) > 0 {
+			sb.WriteString(ind)
+			sb.WriteString("else\n")
+			dumpBody(sb, in.Else, p, depth+1)
+		}
+		switch in.Op {
+		case OpLoop, OpParLoop, OpWhile, OpIf, OpIfMask:
+			sb.WriteString(ind)
+			sb.WriteString("end\n")
+		}
+	}
+}
+
+func formatInstr(in *Instr, p *Prog) string {
+	mod := ""
+	if in.Scalar {
+		mod += ".s"
+	}
+	if in.Carried {
+		mod += ".carried"
+	}
+	arrName := func() string {
+		if in.Arr >= 0 && in.Arr < len(p.Arrays) {
+			return p.Arrays[in.Arr].Name
+		}
+		return fmt.Sprintf("arr%d", in.Arr)
+	}
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const%s %g", in.Dst, mod, in.Imm)
+	case OpMaskMov:
+		return fmt.Sprintf("r%d = maskmov", in.Dst)
+	case OpIota:
+		return fmt.Sprintf("r%d = iota %g", in.Dst, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load%s %s[r%d + l*%d]", in.Dst, mod, arrName(), in.A, in.Stride)
+	case OpStore:
+		return fmt.Sprintf("store%s %s[r%d + l*%d] = r%d", mod, arrName(), in.B, in.Stride, in.A)
+	case OpGather:
+		return fmt.Sprintf("r%d = gather%s %s[r%d.l]", in.Dst, mod, arrName(), in.A)
+	case OpScatter:
+		return fmt.Sprintf("scatter%s %s[r%d.l] = r%d", mod, arrName(), in.B, in.A)
+	case OpLoop:
+		kind := "loop"
+		if in.Vec {
+			kind = "vloop"
+		}
+		return fmt.Sprintf("%s r%d in [%d, %d+%s)", kind, in.Dst, in.Lo, in.Lo, countStr(in))
+	case OpParLoop:
+		kind := "parloop"
+		if in.Vec {
+			kind = "parvloop"
+		}
+		red := ""
+		if len(in.ReduceRegs) > 0 {
+			red = fmt.Sprintf(" reduce(%s, %v)", in.ReduceOp, in.ReduceRegs)
+		}
+		return fmt.Sprintf("%s r%d in [%d, %d+%s)%s", kind, in.Dst, in.Lo, in.Lo, countStr(in), red)
+	case OpWhile:
+		return fmt.Sprintf("while any(r%d)", in.A)
+	case OpIf:
+		return fmt.Sprintf("if r%d (miss=%.2f)", in.A, in.MissProb)
+	case OpIfMask:
+		return fmt.Sprintf("ifmask r%d", in.A)
+	case OpShuffle:
+		return fmt.Sprintf("r%d = shuffle%s r%d %v", in.Dst, mod, in.A, in.Pattern)
+	case OpFMA:
+		return fmt.Sprintf("r%d = fma%s r%d*r%d + r%d", in.Dst, mod, in.A, in.B, in.C)
+	case OpBlend:
+		return fmt.Sprintf("r%d = blend%s r%d?r%d:r%d", in.Dst, mod, in.C, in.A, in.B)
+	case OpNeg, OpAbs, OpSqrt, OpRsqrt, OpRcp, OpExp, OpLog, OpSin, OpCos,
+		OpFloor, OpNotM, OpCopy, OpBroadcast, OpHAdd, OpHMin, OpHMax:
+		return fmt.Sprintf("r%d = %s%s r%d", in.Dst, in.Op, mod, in.A)
+	default:
+		return fmt.Sprintf("r%d = %s%s r%d, r%d", in.Dst, in.Op, mod, in.A, in.B)
+	}
+}
+
+func countStr(in *Instr) string {
+	if in.CountReg >= 0 {
+		return fmt.Sprintf("r%d", in.CountReg)
+	}
+	return fmt.Sprintf("%d", in.Count)
+}

@@ -1,0 +1,376 @@
+// Package vm defines the vector virtual machine that stands in for the
+// paper's machine code. "Ninja" kernels are written directly as vm programs
+// (the analogue of hand-written SSE/LRBni intrinsics); the vectorizing
+// compiler (internal/compiler) emits vm programs from the restricted-C
+// source IR (internal/lang). The execution engine (internal/exec) runs
+// programs functionally — producing numerically checked results — while
+// charging each dynamic instruction to the machine cost model.
+//
+// The machine is a register machine over fixed-width vectors of float64
+// lanes. Integer values (indices, counters) are represented exactly in
+// float64 (all kernels stay far below 2^53). Element width in memory
+// (float32 vs float64 arrays) is carried by Array.ElemBytes and affects
+// addressing, cache footprint, and SIMD lane count — not lane storage.
+//
+// Control flow is structured (loops, whiles, masked regions) rather than
+// branch-based, which keeps divergence and tail-masking semantics explicit:
+// the engine maintains an execution-mask stack exactly like a predicated
+// SIMD machine.
+package vm
+
+import "fmt"
+
+// MaxLanes is the widest SIMD the models use (MIC: 16 x f32).
+const MaxLanes = 16
+
+// Op enumerates VM operations.
+type Op int
+
+// VM operations. Register operand roles are given per op in the comments;
+// unless stated, ops compute all lanes (the engine masks stores, gathers,
+// and scatters by the current execution mask).
+const (
+	OpNop Op = iota
+
+	// Arithmetic: Dst = A op B.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMin
+	OpMax
+
+	// Unary: Dst = op(A).
+	OpNeg
+	OpAbs
+	OpSqrt
+	OpRsqrt // approximate 1/sqrt (fast path + Newton steps are codegen's job)
+	OpRcp   // approximate 1/x
+	OpExp
+	OpLog
+	OpSin
+	OpCos
+	OpFloor
+
+	// OpFMA: Dst = A*B + C. On machines without FMA units the engine
+	// charges a multiply plus an add.
+	OpFMA
+
+	// Comparisons: Dst = (A op B) ? 1 : 0 per lane.
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpCmpEQ
+	OpCmpNE
+
+	// Mask logic on 0/1 lanes: Dst = A op B (OpNotM: Dst = !A).
+	OpAndM
+	OpOrM
+	OpNotM
+
+	// OpBlend: Dst = C != 0 ? A : B per lane.
+	OpBlend
+
+	// Data movement.
+	OpConst     // Dst = Imm in every lane
+	OpIota      // Dst lane l = Imm + l
+	OpCopy      // Dst = A
+	OpBroadcast // Dst lanes = A lane 0
+	OpShuffle   // Dst lane l = A lane Pattern[l]
+
+	// OpMaskMov materializes the current execution mask as 0/1 lanes in
+	// Dst (like LRBni's mask-to-vector moves). Vectorized reductions use
+	// it to neutralize tail/inactive lanes.
+	OpMaskMov
+
+	// Horizontal reductions: Dst lanes = reduce(A lanes). Inactive lanes
+	// (per the execution mask) are excluded.
+	OpHAdd
+	OpHMin
+	OpHMax
+
+	// Memory. Element index of lane l:
+	//   OpLoad/OpStore: round(A lane 0) + l*Stride   (A is the base register;
+	//                   for OpStore, A holds the value and B the base)
+	//   OpGather/OpScatter: round(indexReg lane l)
+	OpLoad    // Dst = arr[base + l*Stride]; A = base register
+	OpStore   // arr[base + l*Stride] = A; B = base register
+	OpGather  // Dst = arr[A lane l]
+	OpScatter // arr[B lane l] = A
+
+	// Control flow. Body fields hold nested instructions.
+	OpLoop    // Dst = induction; iterates Lo..Lo+Count-1 (or CountReg lane 0)
+	OpParLoop // like OpLoop, but iteration space is split across threads
+	OpWhile   // repeats Body while A has any active non-zero lane
+	OpIf      // scalar branch on A lane 0; Body / Else; costs a branch
+	OpIfMask  // push mask A over Body (vector predication); skipped if none active
+
+	numOps
+)
+
+var opNames = [...]string{
+	"nop",
+	"add", "sub", "mul", "div", "min", "max",
+	"neg", "abs", "sqrt", "rsqrt", "rcp", "exp", "log", "sin", "cos", "floor",
+	"fma",
+	"cmplt", "cmple", "cmpgt", "cmpge", "cmpeq", "cmpne",
+	"andm", "orm", "notm",
+	"blend",
+	"const", "iota", "copy", "bcast", "shuffle",
+	"maskmov",
+	"hadd", "hmin", "hmax",
+	"load", "store", "gather", "scatter",
+	"loop", "parloop", "while", "if", "ifmask",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// Instr is one VM instruction. Which fields are meaningful depends on Op.
+type Instr struct {
+	Op  Op
+	Dst int // destination register
+	A   int // first source register (role varies by op)
+	B   int // second source register
+	C   int // third source register (FMA addend, blend mask)
+
+	Imm float64 // immediate for OpConst / OpIota
+
+	// Memory operands.
+	Arr    int // index into Prog.Arrays
+	Stride int // element stride for OpLoad/OpStore (0 = broadcast/splat)
+
+	// Scalar marks an instruction as operating on lane 0 only; it is
+	// charged at scalar cost. Scalar transcendentals cost a libm call.
+	Scalar bool
+
+	// Addr marks arithmetic that computes addresses/indices: it is
+	// charged to the integer ALU (address arithmetic on real machines
+	// uses integer units and addressing modes, not FP pipes).
+	Addr bool
+
+	// Carried marks an instruction whose result feeds a loop-carried
+	// dependence (e.g. a single-accumulator reduction or pointer chase):
+	// the engine charges result latency instead of throughput, and memory
+	// ops lose miss-level parallelism.
+	Carried bool
+
+	// Pattern is the lane permutation for OpShuffle.
+	Pattern []int
+
+	// Unroll is the loop unrolling factor applied by codegen (>=1): loop
+	// bookkeeping overhead is charged once per Unroll iterations and
+	// carried-dependence penalties are divided by it (multiple
+	// accumulators). Zero means 1.
+	Unroll int
+
+	// Control-flow fields.
+	Lo       int64   // loop lower bound
+	Count    int64   // static trip count (used when CountReg < 0)
+	CountReg int     // register holding dynamic trip count (lane 0); -1 if unused
+	Vec      bool    // vector loop: induction lane l = Lo + i*W + l, tail masked
+	Body     []Instr // loop/branch body
+	Else     []Instr // OpIf else-branch
+	MissProb float64 // branch misprediction probability for OpIf/OpWhile
+
+	// Parallel-loop fields (OpParLoop).
+	Chunk      int // >0: round-robin chunks of this size (dynamic-ish schedule)
+	ReduceRegs []int
+	ReduceOp   Op // OpAdd/OpMin/OpMax: cross-thread combine for ReduceRegs
+}
+
+// ArrayRef declares an array a program references; actual storage is bound
+// at run time by name.
+type ArrayRef struct {
+	Name      string
+	ElemBytes int // 4 (float32-like) or 8 (float64-like): addressing granularity
+}
+
+// Array is a runtime-bound array: flat float64 storage plus the virtual
+// base address the cache simulator sees.
+type Array struct {
+	Name      string
+	ElemBytes int
+	Data      []float64
+	Base      uint64
+}
+
+// NewArray allocates an array with n elements.
+func NewArray(name string, elemBytes, n int) *Array {
+	return &Array{Name: name, ElemBytes: elemBytes, Data: make([]float64, n)}
+}
+
+// Prog is a complete VM program.
+type Prog struct {
+	Name    string
+	NumRegs int
+	Arrays  []ArrayRef
+	Body    []Instr
+
+	// ElemBytes is the dominant element width (4 or 8); the engine picks
+	// the machine's SIMD lane count for this width. Defaults to 4.
+	ElemBytes int
+}
+
+// ArrayIndex returns the index of the named array reference, or -1.
+func (p *Prog) ArrayIndex(name string) int {
+	for i, a := range p.Arrays {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural well-formedness: register and array operands
+// in range, control fields consistent. The engine relies on this.
+func (p *Prog) Validate() error {
+	if p.NumRegs <= 0 || p.NumRegs > 1<<16 {
+		return fmt.Errorf("prog %s: bad register count %d", p.Name, p.NumRegs)
+	}
+	return p.validateBody(p.Body, 0)
+}
+
+func (p *Prog) validateBody(body []Instr, depth int) error {
+	if depth > 16 {
+		return fmt.Errorf("prog %s: control nesting too deep", p.Name)
+	}
+	for i := range body {
+		in := &body[i]
+		if err := p.validateInstr(in, depth); err != nil {
+			return fmt.Errorf("prog %s: instr %d (%s): %w", p.Name, i, in.Op, err)
+		}
+	}
+	return nil
+}
+
+func (p *Prog) validateInstr(in *Instr, depth int) error {
+	reg := func(r int) error {
+		if r < 0 || r >= p.NumRegs {
+			return fmt.Errorf("register %d out of range [0,%d)", r, p.NumRegs)
+		}
+		return nil
+	}
+	arr := func(a int) error {
+		if a < 0 || a >= len(p.Arrays) {
+			return fmt.Errorf("array %d out of range [0,%d)", a, len(p.Arrays))
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpNop:
+		return nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMin, OpMax,
+		OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE, OpCmpEQ, OpCmpNE,
+		OpAndM, OpOrM:
+		return firstErr(reg(in.Dst), reg(in.A), reg(in.B))
+	case OpNeg, OpAbs, OpSqrt, OpRsqrt, OpRcp, OpExp, OpLog, OpSin, OpCos,
+		OpFloor, OpNotM, OpCopy, OpBroadcast, OpHAdd, OpHMin, OpHMax:
+		return firstErr(reg(in.Dst), reg(in.A))
+	case OpFMA:
+		return firstErr(reg(in.Dst), reg(in.A), reg(in.B), reg(in.C))
+	case OpBlend:
+		return firstErr(reg(in.Dst), reg(in.A), reg(in.B), reg(in.C))
+	case OpConst, OpIota, OpMaskMov:
+		return reg(in.Dst)
+	case OpShuffle:
+		if err := firstErr(reg(in.Dst), reg(in.A)); err != nil {
+			return err
+		}
+		if len(in.Pattern) == 0 {
+			return fmt.Errorf("shuffle without pattern")
+		}
+		for _, x := range in.Pattern {
+			if x < 0 || x >= MaxLanes {
+				return fmt.Errorf("shuffle pattern lane %d out of range", x)
+			}
+		}
+		return nil
+	case OpLoad:
+		return firstErr(reg(in.Dst), reg(in.A), arr(in.Arr))
+	case OpStore:
+		return firstErr(reg(in.A), reg(in.B), arr(in.Arr))
+	case OpGather:
+		return firstErr(reg(in.Dst), reg(in.A), arr(in.Arr))
+	case OpScatter:
+		return firstErr(reg(in.A), reg(in.B), arr(in.Arr))
+	case OpLoop, OpParLoop:
+		if err := reg(in.Dst); err != nil {
+			return err
+		}
+		if in.CountReg >= 0 {
+			if err := reg(in.CountReg); err != nil {
+				return err
+			}
+		} else if in.Count < 0 {
+			return fmt.Errorf("negative trip count %d", in.Count)
+		}
+		if in.Op == OpParLoop {
+			if depth != 0 {
+				return fmt.Errorf("parloop must be at top level")
+			}
+			for _, r := range in.ReduceRegs {
+				if err := reg(r); err != nil {
+					return err
+				}
+			}
+			switch in.ReduceOp {
+			case OpNop, OpAdd, OpMin, OpMax:
+			default:
+				return fmt.Errorf("unsupported reduce op %s", in.ReduceOp)
+			}
+		}
+		return p.validateBody(in.Body, depth+1)
+	case OpWhile:
+		if err := reg(in.A); err != nil {
+			return err
+		}
+		return p.validateBody(in.Body, depth+1)
+	case OpIf:
+		if err := reg(in.A); err != nil {
+			return err
+		}
+		if err := p.validateBody(in.Body, depth+1); err != nil {
+			return err
+		}
+		return p.validateBody(in.Else, depth+1)
+	case OpIfMask:
+		if err := reg(in.A); err != nil {
+			return err
+		}
+		return p.validateBody(in.Body, depth+1)
+	default:
+		return fmt.Errorf("unknown op %d", int(in.Op))
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// CountInstrs returns the static instruction count (bodies included); a
+// proxy for code size used by the programming-effort experiment.
+func (p *Prog) CountInstrs() int {
+	return countBody(p.Body)
+}
+
+func countBody(body []Instr) int {
+	n := 0
+	for i := range body {
+		n++
+		n += countBody(body[i].Body)
+		n += countBody(body[i].Else)
+	}
+	return n
+}

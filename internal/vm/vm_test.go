@@ -1,0 +1,198 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasicProgram(t *testing.T) {
+	b := NewBuilder("axpy")
+	x := b.Array("x", 4)
+	y := b.Array("y", 4)
+	a := b.Const(2.0)
+	i := b.ParVecLoop(0, 1024)
+	xv := b.Load(x, i, 1)
+	yv := b.Load(y, i, 1)
+	b.Store(y, b.FMA(a, xv, yv), i, 1)
+	b.End()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumRegs == 0 || len(p.Body) != 2 {
+		t.Fatalf("unexpected program shape: regs=%d body=%d", p.NumRegs, len(p.Body))
+	}
+	if p.Body[1].Op != OpParLoop || !p.Body[1].Vec {
+		t.Fatalf("expected parallel vector loop, got %v", p.Body[1].Op)
+	}
+	// const + parloop + 2 loads + fma + store = 6.
+	if n := p.CountInstrs(); n != 6 {
+		t.Errorf("CountInstrs = %d, want 6", n)
+	}
+}
+
+func TestBuilderUnbalancedFails(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Loop(0, 10)
+	if _, err := b.Build(); err == nil {
+		t.Error("Build with open loop should fail")
+	}
+}
+
+func TestBuilderDoubleBuildFails(t *testing.T) {
+	b := NewBuilder("p")
+	b.Const(1)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("second Build should fail")
+	}
+}
+
+func TestValidateCatchesBadRegisters(t *testing.T) {
+	p := &Prog{Name: "bad", NumRegs: 2, Body: []Instr{
+		{Op: OpAdd, Dst: 5, A: 0, B: 1},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range register should fail validation")
+	}
+}
+
+func TestValidateCatchesBadArray(t *testing.T) {
+	p := &Prog{Name: "bad", NumRegs: 2, Body: []Instr{
+		{Op: OpLoad, Dst: 0, A: 1, Arr: 3},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range array should fail validation")
+	}
+}
+
+func TestValidateCatchesNestedParloop(t *testing.T) {
+	p := &Prog{Name: "bad", NumRegs: 4, Body: []Instr{
+		{Op: OpLoop, Dst: 0, Count: 4, CountReg: -1, Body: []Instr{
+			{Op: OpParLoop, Dst: 1, Count: 4, CountReg: -1},
+		}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("nested parloop should fail validation")
+	}
+}
+
+func TestValidateCatchesBadShuffle(t *testing.T) {
+	p := &Prog{Name: "bad", NumRegs: 2, Body: []Instr{
+		{Op: OpShuffle, Dst: 0, A: 1},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("shuffle without pattern should fail")
+	}
+	p.Body[0].Pattern = []int{99}
+	if err := p.Validate(); err == nil {
+		t.Error("shuffle with out-of-range lane should fail")
+	}
+}
+
+func TestValidateCatchesBadReduceOp(t *testing.T) {
+	p := &Prog{Name: "bad", NumRegs: 2, Body: []Instr{
+		{Op: OpParLoop, Dst: 0, Count: 4, CountReg: -1,
+			ReduceRegs: []int{1}, ReduceOp: OpMul},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("mul reduce op should fail validation")
+	}
+}
+
+func TestBuilderIfElse(t *testing.T) {
+	b := NewBuilder("branchy")
+	c := b.Const(1)
+	r := b.Reg()
+	b.If(c, 0.5)
+	b.Emit(Instr{Op: OpConst, Dst: r, Imm: 10})
+	b.Else()
+	b.Emit(Instr{Op: OpConst, Dst: r, Imm: 20})
+	b.End()
+	p := b.MustBuild()
+	iff := p.Body[1]
+	if iff.Op != OpIf || len(iff.Body) != 1 || len(iff.Else) != 1 {
+		t.Fatalf("if/else structure wrong: %+v", iff)
+	}
+}
+
+func TestBuilderReduce(t *testing.T) {
+	b := NewBuilder("sum")
+	acc := b.Const(0)
+	i := b.ParLoop(0, 100)
+	_ = i
+	b.Reduce(OpAdd, acc)
+	b.Emit(Instr{Op: OpAdd, Dst: acc, A: acc, B: acc})
+	b.End()
+	p := b.MustBuild()
+	pl := p.Body[1]
+	if pl.ReduceOp != OpAdd || len(pl.ReduceRegs) != 1 || pl.ReduceRegs[0] != acc {
+		t.Fatalf("reduce not recorded: %+v", pl)
+	}
+}
+
+func TestBuilderMarkCarried(t *testing.T) {
+	b := NewBuilder("chain")
+	a := b.Const(0)
+	i := b.Loop(0, 10)
+	_ = i
+	b.Emit(Instr{Op: OpAdd, Dst: a, A: a, B: a})
+	b.MarkCarried()
+	b.End()
+	p := b.MustBuild()
+	if !p.Body[1].Body[0].Carried {
+		t.Error("MarkCarried did not set flag")
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	b := NewBuilder("dumpme")
+	x := b.Array("x", 4)
+	i := b.VecLoop(0, 16)
+	v := b.Load(x, i, 1)
+	s := b.Op1(OpSqrt, v)
+	b.Store(x, s, i, 1)
+	b.End()
+	p := b.MustBuild()
+	d := p.Dump()
+	for _, want := range []string{"prog dumpme", "array x", "vloop", "sqrt", "store x", "end"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dump missing %q in:\n%s", want, d)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpParLoop.String() != "parloop" {
+		t.Errorf("op names wrong: %s %s", OpAdd, OpParLoop)
+	}
+	if Op(-1).String() == "" || Op(9999).String() == "" {
+		t.Error("out-of-range op should still stringify")
+	}
+	if int(numOps) != len(opNames) {
+		t.Fatalf("opNames table has %d entries for %d ops", len(opNames), int(numOps))
+	}
+}
+
+func TestArrayIndex(t *testing.T) {
+	b := NewBuilder("p")
+	x := b.Array("x", 4)
+	x2 := b.Array("x", 4)
+	if x != x2 {
+		t.Error("re-declaring array should return same index")
+	}
+	y := b.Array("y", 8)
+	p := b.MustBuild()
+	if p.ArrayIndex("y") != y || p.ArrayIndex("zzz") != -1 {
+		t.Error("ArrayIndex lookup broken")
+	}
+}
+
+func TestNewArray(t *testing.T) {
+	a := NewArray("buf", 4, 128)
+	if len(a.Data) != 128 || a.ElemBytes != 4 || a.Name != "buf" {
+		t.Errorf("NewArray wrong: %+v", a)
+	}
+}
