@@ -10,6 +10,10 @@ package ninjagap
 //
 // reproduces the study end to end. Run `cmd/ninjagap all -scale 1` for the
 // full-size figures with rendered output.
+//
+// Every iteration calls gap.ResetMemo() first: measurements are memoized
+// process-wide, and without the reset every iteration after the first
+// would time cache lookups instead of the harness.
 
 import (
 	"testing"
@@ -25,6 +29,7 @@ func benchCfg() Config { return Config{Scale: benchScale} }
 
 func BenchmarkTable1Suite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		if _, err := Table1Suite(benchCfg()); err != nil {
 			b.Fatal(err)
 		}
@@ -34,6 +39,7 @@ func BenchmarkTable1Suite(b *testing.B) {
 func BenchmarkFig1NinjaGap(b *testing.B) {
 	var avg, max float64
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		r, err := Fig1NinjaGap(benchCfg())
 		if err != nil {
 			b.Fatal(err)
@@ -47,6 +53,7 @@ func BenchmarkFig1NinjaGap(b *testing.B) {
 func BenchmarkFig2Trend(b *testing.B) {
 	var growth float64
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		r, err := Fig2Trend(benchCfg())
 		if err != nil {
 			b.Fatal(err)
@@ -60,6 +67,7 @@ func BenchmarkFig2Trend(b *testing.B) {
 func BenchmarkFig3Breakdown(b *testing.B) {
 	var simd, tlp float64
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		r, err := Fig3Breakdown(benchCfg())
 		if err != nil {
 			b.Fatal(err)
@@ -79,6 +87,7 @@ func BenchmarkFig3Breakdown(b *testing.B) {
 func BenchmarkFig4Compiler(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		r, err := Fig4Compiler(benchCfg())
 		if err != nil {
 			b.Fatal(err)
@@ -91,6 +100,7 @@ func BenchmarkFig4Compiler(b *testing.B) {
 func BenchmarkFig5Algorithmic(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		r, err := Fig5Algorithmic(benchCfg())
 		if err != nil {
 			b.Fatal(err)
@@ -103,6 +113,7 @@ func BenchmarkFig5Algorithmic(b *testing.B) {
 func BenchmarkFig6MIC(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		r, err := Fig6MIC(benchCfg())
 		if err != nil {
 			b.Fatal(err)
@@ -115,6 +126,7 @@ func BenchmarkFig6MIC(b *testing.B) {
 func BenchmarkFig7Hardware(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		r, err := Fig7Hardware(benchCfg())
 		if err != nil {
 			b.Fatal(err)
@@ -131,6 +143,7 @@ func BenchmarkFig7Hardware(b *testing.B) {
 
 func BenchmarkFig8Effort(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		if _, err := Fig8Effort(benchCfg()); err != nil {
 			b.Fatal(err)
 		}
@@ -139,6 +152,7 @@ func BenchmarkFig8Effort(b *testing.B) {
 
 func BenchmarkAblations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		gap.ResetMemo()
 		if _, err := Ablate(benchCfg()); err != nil {
 			b.Fatal(err)
 		}
@@ -163,6 +177,7 @@ func benchEachKernel(b *testing.B, v Version) {
 			n := gap.LegalN(k, int(float64(k.DefaultN())*benchScale))
 			var simSeconds float64
 			for i := 0; i < b.N; i++ {
+				gap.ResetMemo()
 				meas, err := gap.Measure(k, v, m, n, false)
 				if err != nil {
 					b.Fatal(err)

@@ -1,6 +1,8 @@
 // Command ninjagap runs the reproduction's experiments: every table and
 // figure of the paper's evaluation, the ablations, and single benchmark
-// runs.
+// runs. Each command's measurement cells are fanned out across a bounded
+// worker pool with memoized, deterministically ordered results, so output
+// is byte-identical at every -jobs count.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 //	fig1 ... fig8              the evaluation figures
 //	ablate                     design ablations (prefetch, SMT, scaling)
 //	all                        every table and figure in order
+//	bench-export               write a BENCH_results.json perf snapshot
 //	run -bench B -version V    one measured run
 //	list                       benchmarks, versions, machines
 //
@@ -19,17 +22,25 @@
 //
 //	-scale F     problem-size multiplier (default 1.0; use 0.1 for quick runs)
 //	-bench list  comma-separated benchmark subset
+//	-jobs N      scheduler worker-pool bound (0 = GOMAXPROCS, 1 = serial)
+//	-json        emit JSON instead of text (shorthand for -format json)
+//	-format F    output encoding: text, json, or csv (csv: tables/export only)
+//	-out FILE    write output to FILE instead of stdout
+//	             (bench-export default: BENCH_results.json)
 //	-machine M   machine for `run` (default WestmereX980)
 //	-n N         problem size for `run` (default benchmark's evaluation size)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"ninjagap"
+	"ninjagap/internal/report"
 )
 
 func main() {
@@ -41,6 +52,10 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	scale := fs.Float64("scale", 1.0, "problem-size multiplier")
 	benches := fs.String("bench", "", "comma-separated benchmark subset")
+	jobs := fs.Int("jobs", 0, "scheduler worker-pool bound (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit JSON (shorthand for -format json)")
+	format := fs.String("format", "", "output encoding: text, json, csv")
+	outFile := fs.String("out", "", "write output to file instead of stdout")
 	machineName := fs.String("machine", "WestmereX980", "machine for `run`")
 	version := fs.String("version", "naive", "version for `run`")
 	n := fs.Int("n", 0, "problem size for `run` (0 = evaluation size)")
@@ -48,133 +63,254 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := ninjagap.Config{Scale: *scale}
+	cfg := ninjagap.Config{Scale: *scale, Jobs: *jobs}
 	if *benches != "" {
 		cfg.Benches = strings.Split(*benches, ",")
 	}
+	cfg.Format = *format
+	if *jsonOut {
+		cfg.Format = "json"
+	}
+	if cfg.Format == "" {
+		cfg.Format = "text"
+	}
 
-	if err := dispatch(cmd, cfg, *machineName, *version, *n, fs.Args()); err != nil {
+	if err := run(cmd, cfg, *outFile, *machineName, *version, *n); err != nil {
 		fmt.Fprintln(os.Stderr, "ninjagap:", err)
 		os.Exit(1)
 	}
 }
 
-func dispatch(cmd string, cfg ninjagap.Config, machineName, version string, n int, rest []string) error {
-	switch cmd {
-	case "table1":
-		s, err := ninjagap.Table1Suite(cfg)
+func run(cmd string, cfg ninjagap.Config, outFile, machineName, version string, n int) error {
+	if cmd == "bench-export" && outFile == "" {
+		outFile = "BENCH_results.json"
+	}
+	w := io.Writer(os.Stdout)
+	if outFile != "" {
+		f, err := os.Create(outFile)
 		if err != nil {
 			return err
 		}
-		fmt.Print(s)
+		defer f.Close()
+		w = f
+	}
+	if cmd == "all" {
+		return runAll(w, cfg)
+	}
+	out, err := dispatch(cmd, cfg, machineName, version, n)
+	if err != nil {
+		return err
+	}
+	if err := emit(w, cfg.Format, out); err != nil {
+		return err
+	}
+	if outFile != "" {
+		fmt.Fprintf(os.Stderr, "ninjagap: wrote %s\n", outFile)
+	}
+	return nil
+}
+
+// output pairs a command's renderable text with its data value, so every
+// command can emit text, JSON, or (where it is tabular) CSV.
+type output struct {
+	text func() string
+	data interface{}
+	// csv renders the tabular encoding; nil means CSV is unsupported.
+	csv func() string
+}
+
+// emit writes one command's output in the selected format.
+func emit(w io.Writer, format string, out output) error {
+	switch format {
+	case "", "text":
+		_, err := io.WriteString(w, out.text())
+		return err
+	case "json":
+		b, err := json.MarshalIndent(out.data, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	case "csv":
+		if out.csv == nil {
+			return fmt.Errorf("csv output is only supported for table1, table2 and bench-export")
+		}
+		_, err := io.WriteString(w, out.csv())
+		return err
+	default:
+		return fmt.Errorf("unknown format %q (want text, json or csv)", format)
+	}
+}
+
+// tableOutput wraps a report table, which supports all three encodings.
+func tableOutput(t *report.Table) output {
+	return output{text: t.String, data: t, csv: t.CSV}
+}
+
+func dispatch(cmd string, cfg ninjagap.Config, machineName, version string, n int) (output, error) {
+	switch cmd {
+	case "table1":
+		t, err := ninjagap.Table1Suite(cfg)
+		if err != nil {
+			return output{}, err
+		}
+		return tableOutput(t), nil
 	case "table2":
-		fmt.Print(ninjagap.Table2Machines())
+		return tableOutput(ninjagap.Table2Machines()), nil
 	case "fig1":
 		r, err := ninjagap.Fig1NinjaGap(cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Print(r.Render(ninjagap.Naive))
+		return output{text: func() string { return r.Render(ninjagap.Naive) }, data: r}, nil
 	case "fig2":
 		r, err := ninjagap.Fig2Trend(cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Print(r.Render())
+		return output{text: r.Render, data: r}, nil
 	case "fig3":
 		r, err := ninjagap.Fig3Breakdown(cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Print(r.Render())
+		return output{text: r.Render, data: r}, nil
 	case "fig4":
 		r, err := ninjagap.Fig4Compiler(cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Print(r.Render())
-		s, err := ninjagap.VecReport(ninjagap.AutoVec, cfg)
+		diag, err := ninjagap.VecReport(ninjagap.AutoVec, cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Println("\nauto-vectorization diagnostics:")
-		fmt.Print(s)
+		return output{
+			text: func() string {
+				return r.Render() + "\nauto-vectorization diagnostics:\n" + diag
+			},
+			data: struct {
+				*ninjagap.LadderResult
+				Diagnostics string `json:"diagnostics"`
+			}{r, diag},
+		}, nil
 	case "fig5":
 		r, err := ninjagap.Fig5Algorithmic(cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Print(r.Render())
+		return output{text: r.Render, data: r}, nil
 	case "fig6":
 		r, err := ninjagap.Fig6MIC(cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Print(r.Render())
+		return output{text: r.Render, data: r}, nil
 	case "fig7":
 		r, err := ninjagap.Fig7Hardware(cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Print(r.Render())
+		return output{text: r.Render, data: r}, nil
 	case "fig8":
 		r, err := ninjagap.Fig8Effort(cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Print(r.Render())
+		return output{text: r.Render, data: r}, nil
 	case "ablate":
 		r, err := ninjagap.Ablate(cfg)
 		if err != nil {
-			return err
+			return output{}, err
 		}
-		fmt.Print(r.Render())
-	case "all":
-		return runAll(cfg)
+		return output{text: r.Render, data: r}, nil
+	case "bench-export":
+		snap, err := ninjagap.BenchExport(cfg)
+		if err != nil {
+			return output{}, err
+		}
+		return output{
+			text: func() string { b, _ := snap.JSON(); return string(b) + "\n" },
+			data: snap,
+			csv:  func() string { return recordsCSV(snap) },
+		}, nil
 	case "run":
 		return runOne(cfg, machineName, version, n)
 	case "list":
-		fmt.Println("benchmarks:")
-		for _, b := range ninjagap.Benchmarks() {
-			fmt.Printf("  %-16s %s (%s)\n", b.Name(), b.Description(), b.Character())
-		}
-		fmt.Println("versions:")
-		for _, v := range ninjagap.Versions() {
-			fmt.Printf("  %s\n", v)
-		}
-		fmt.Println("machines:")
-		for _, m := range ninjagap.Machines() {
-			fmt.Printf("  %s\n", m)
-		}
+		return listOutput(), nil
 	default:
 		usage()
-		return fmt.Errorf("unknown command %q", cmd)
+		return output{}, fmt.Errorf("unknown command %q", cmd)
 	}
-	return nil
 }
 
-func runAll(cfg ninjagap.Config) error {
-	for _, cmd := range []string{"table2", "table1", "fig1", "fig2", "fig3",
-		"fig4", "fig5", "fig6", "fig7", "fig8", "ablate"} {
-		if err := dispatch(cmd, cfg, "", "", 0, nil); err != nil {
+// recordsCSV flattens a snapshot's records.
+func recordsCSV(s *report.Snapshot) string {
+	t := report.NewTable("", "bench", "version", "machine", "n", "threads",
+		"seconds", "gflops", "gap", "speedup", "bound_by")
+	for _, r := range s.Records {
+		t.Add(r.Bench, r.Version, r.Machine, fmt.Sprintf("%d", r.N),
+			fmt.Sprintf("%d", r.Threads), fmt.Sprintf("%g", r.Seconds),
+			fmt.Sprintf("%g", r.GFlops), fmt.Sprintf("%g", r.Gap),
+			fmt.Sprintf("%g", r.Speedup), r.BoundBy)
+	}
+	return t.CSV()
+}
+
+// allOrder is the `all` command's sequence.
+var allOrder = []string{"table2", "table1", "fig1", "fig2", "fig3",
+	"fig4", "fig5", "fig6", "fig7", "fig8", "ablate"}
+
+func runAll(w io.Writer, cfg ninjagap.Config) error {
+	if cfg.Format == "csv" {
+		return fmt.Errorf("csv output is only supported for table1, table2 and bench-export")
+	}
+	type entry struct {
+		Command string      `json:"command"`
+		Result  interface{} `json:"result"`
+	}
+	var entries []entry
+	for _, cmd := range allOrder {
+		out, err := dispatch(cmd, cfg, "", "", 0)
+		if err != nil {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
-		fmt.Println()
+		if cfg.Format == "json" {
+			entries = append(entries, entry{cmd, out.data})
+			continue
+		}
+		if _, err := io.WriteString(w, out.text()); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	if cfg.Format == "json" {
+		b, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func runOne(cfg ninjagap.Config, machineName, version string, n int) error {
+func runOne(cfg ninjagap.Config, machineName, version string, n int) (output, error) {
 	m, err := ninjagap.MachineByName(machineName)
 	if err != nil {
-		return err
+		return output{}, err
 	}
 	if len(cfg.Benches) != 1 {
-		return fmt.Errorf("run needs exactly one -bench")
+		return output{}, fmt.Errorf("run needs exactly one -bench")
 	}
 	b, err := ninjagap.Benchmark(cfg.Benches[0])
 	if err != nil {
-		return err
+		return output{}, err
 	}
 	var v ninjagap.Version
 	found := false
@@ -184,25 +320,79 @@ func runOne(cfg ninjagap.Config, machineName, version string, n int) error {
 		}
 	}
 	if !found {
-		return fmt.Errorf("unknown version %q", version)
+		return output{}, fmt.Errorf("unknown version %q", version)
 	}
 	if n == 0 {
 		n = int(float64(b.DefaultN()) * cfg.Scale)
 	}
 	meas, err := ninjagap.Run(b, v, m, n)
 	if err != nil {
-		return err
+		return output{}, err
 	}
-	fmt.Printf("%s/%s on %s (n=%d, %d threads): %v\n",
-		b.Name(), v, m.Name, meas.N, meas.Threads, meas.Res)
-	if meas.Inst.Report != nil {
-		fmt.Print(meas.Inst.Report)
+	return output{
+		text: func() string {
+			s := fmt.Sprintf("%s/%s on %s (n=%d, %d threads): %v\n",
+				b.Name(), v, m.Name, meas.N, meas.Threads, meas.Res)
+			if meas.Inst.Report != nil {
+				s += meas.Inst.Report.String()
+			}
+			return s
+		},
+		data: report.BenchRecord{
+			Bench: meas.Bench, Version: meas.Version.String(), Machine: meas.Machine,
+			N: meas.N, Threads: meas.Threads, Seconds: meas.Res.Seconds,
+			GFlops: meas.Res.GFlops, BoundBy: meas.Res.BoundBy,
+		},
+	}, nil
+}
+
+func listOutput() output {
+	type benchInfo struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+		Domain      string `json:"domain"`
+		Character   string `json:"character"`
 	}
-	return nil
+	var bs []benchInfo
+	for _, b := range ninjagap.Benchmarks() {
+		bs = append(bs, benchInfo{b.Name(), b.Description(), b.Domain(), b.Character()})
+	}
+	var vs, msNames []string
+	for _, v := range ninjagap.Versions() {
+		vs = append(vs, v.String())
+	}
+	for _, m := range ninjagap.Machines() {
+		msNames = append(msNames, m.Name)
+	}
+	return output{
+		text: func() string {
+			var sb strings.Builder
+			sb.WriteString("benchmarks:\n")
+			for _, b := range bs {
+				fmt.Fprintf(&sb, "  %-16s %s (%s)\n", b.Name, b.Description, b.Character)
+			}
+			sb.WriteString("versions:\n")
+			for _, v := range vs {
+				fmt.Fprintf(&sb, "  %s\n", v)
+			}
+			sb.WriteString("machines:\n")
+			for _, m := range msNames {
+				fmt.Fprintf(&sb, "  %s\n", m)
+			}
+			return sb.String()
+		},
+		data: struct {
+			Benchmarks []benchInfo `json:"benchmarks"`
+			Versions   []string    `json:"versions"`
+			Machines   []string    `json:"machines"`
+		}{bs, vs, msNames},
+	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ninjagap <command> [flags]
-commands: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablate all run list
-flags:    -scale F  -bench a,b,c  -machine M  -version V  -n N`)
+commands: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablate all
+          bench-export run list
+flags:    -scale F  -bench a,b,c  -jobs N  -json  -format text|json|csv
+          -out FILE  -machine M  -version V  -n N`)
 }

@@ -1,6 +1,7 @@
 package gap
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -41,7 +42,10 @@ func (r *GapResult) headline(v kernels.Version) {
 }
 
 // ladder measures the requested versions for every benchmark and forms
-// gaps relative to ninja.
+// gaps relative to ninja. All benchmark x version cells of the figure are
+// fanned out across the configured scheduler at once; rows are assembled
+// in suite order from the index-ordered results, so the rendered figure
+// is identical at every job count.
 func ladder(m *machine.Machine, cfg Config, vs ...kernels.Version) (*GapResult, error) {
 	bs, err := cfg.benches()
 	if err != nil {
@@ -57,19 +61,32 @@ func ladder(m *machine.Machine, cfg Config, vs ...kernels.Version) (*GapResult, 
 	if !haveNinja {
 		withNinja = append(withNinja, kernels.Ninja)
 	}
-	res := &GapResult{Machine: m.Name}
+	var cells []Cell
 	for _, b := range bs {
-		ms, err := MeasureVersions(b, m, cfg, withNinja...)
-		if err != nil {
-			return nil, err
+		n := SizeFor(b, cfg)
+		for _, v := range withNinja {
+			cells = append(cells, Cell{Bench: b, Version: v, Machine: m, N: n})
 		}
+	}
+	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	if err != nil {
+		return nil, err
+	}
+	res := &GapResult{Machine: m.Name}
+	for bi, b := range bs {
 		row := GapRow{Bench: b.Name(),
 			Times: map[kernels.Version]float64{},
 			Gaps:  map[kernels.Version]float64{}}
-		ninja := ms[kernels.Ninja].Seconds()
-		for v, meas := range ms {
-			row.Times[v] = meas.Seconds()
-			row.Gaps[v] = meas.Seconds() / ninja
+		base := bi * len(withNinja)
+		ninja := 0.0
+		for vi, v := range withNinja {
+			if v == kernels.Ninja {
+				ninja = ms[base+vi].Seconds()
+			}
+		}
+		for vi, v := range withNinja {
+			row.Times[v] = ms[base+vi].Seconds()
+			row.Gaps[v] = ms[base+vi].Seconds() / ninja
 		}
 		res.Rows = append(res.Rows, row)
 	}
@@ -162,36 +179,31 @@ func Fig3Breakdown(cfg Config) (*BreakdownResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &BreakdownResult{Machine: m.Name}
+	// Four cells per benchmark; the pragma version on a single thread
+	// isolates SIMD from TLP.
+	var cells []Cell
 	for _, b := range bs {
 		n := SizeFor(b, cfg)
-		naive, err := Measure(b, kernels.Naive, m, n, cfg.SkipCheck)
-		if err != nil {
-			return nil, err
-		}
-		// Pragma version on a single thread isolates SIMD from TLP.
-		inst, err := b.Prepare(kernels.Pragma, m, n)
-		if err != nil {
-			return nil, err
-		}
-		p1, err := runInst(inst, m, 1, cfg.SkipCheck)
-		if err != nil {
-			return nil, err
-		}
-		pAll, err := Measure(b, kernels.Pragma, m, n, cfg.SkipCheck)
-		if err != nil {
-			return nil, err
-		}
-		ninja, err := Measure(b, kernels.Ninja, m, n, cfg.SkipCheck)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells,
+			Cell{Bench: b, Version: kernels.Naive, Machine: m, N: n},
+			Cell{Bench: b, Version: kernels.Pragma, Machine: m, N: n, Threads: 1},
+			Cell{Bench: b, Version: kernels.Pragma, Machine: m, N: n},
+			Cell{Bench: b, Version: kernels.Ninja, Machine: m, N: n})
+	}
+	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	if err != nil {
+		return nil, err
+	}
+	out := &BreakdownResult{Machine: m.Name}
+	for bi, b := range bs {
+		naive, p1, pAll, ninja := ms[bi*4].Seconds(), ms[bi*4+1].Seconds(),
+			ms[bi*4+2].Seconds(), ms[bi*4+3].Seconds()
 		out.Rows = append(out.Rows, BreakdownRow{
 			Bench: b.Name(),
-			SIMD:  naive.Seconds() / p1,
-			TLP:   p1 / pAll.Seconds(),
-			Rest:  pAll.Seconds() / ninja.Seconds(),
-			Total: naive.Seconds() / ninja.Seconds(),
+			SIMD:  naive / p1,
+			TLP:   p1 / pAll,
+			Rest:  pAll / ninja,
+			Total: naive / ninja,
 		})
 	}
 	return out, nil

@@ -1,0 +1,100 @@
+package gap
+
+import (
+	"context"
+	"fmt"
+
+	"ninjagap/internal/kernels"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/report"
+)
+
+// exportMachines returns the platforms included in the bench snapshot:
+// the paper's two evaluation machines.
+func exportMachines() []*machine.Machine {
+	return []*machine.Machine{machine.WestmereX980(), machine.KnightsFerry()}
+}
+
+// BenchExport measures the full benchmark x version grid on the
+// evaluation machines and packages it as a machine-readable snapshot
+// (schema report.SnapshotSchema): one record per cell with simulated
+// seconds, GFLOP/s, the gap to ninja, and the speedup over naive, plus
+// machine metadata and headline aggregates. The grid is fanned out
+// across the configured scheduler; the snapshot is the artifact
+// `ninjagap bench-export` writes (BENCH_results.json) for cross-commit
+// perf tracking.
+func BenchExport(cfg Config) (*report.Snapshot, error) {
+	bs, err := cfg.benches()
+	if err != nil {
+		return nil, err
+	}
+	machines := exportMachines()
+	vs := kernels.Versions()
+
+	var cells []Cell
+	for _, m := range machines {
+		for _, b := range bs {
+			n := SizeFor(b, cfg)
+			for _, v := range vs {
+				cells = append(cells, Cell{Bench: b, Version: v, Machine: m, N: n})
+			}
+		}
+	}
+	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	if err != nil {
+		return nil, err
+	}
+
+	snap := &report.Snapshot{
+		Schema:  report.SnapshotSchema,
+		Scale:   cfg.scale(),
+		Jobs:    cfg.Jobs,
+		Summary: map[string]float64{},
+	}
+	for _, m := range machines {
+		snap.Machines = append(snap.Machines, report.MachineInfo{
+			Name: m.Name, Year: m.Year, Cores: m.Cores, SMT: m.Feat.SMT,
+			SIMDF32: m.VecWidthF32, FreqGHz: m.FreqGHz,
+			BandwidthGBps: m.Mem.BandwidthGBps,
+			HWGather:      m.Feat.HWGather, FMA: m.Feat.FMA,
+		})
+	}
+
+	i := 0
+	for _, m := range machines {
+		// gaps accumulates the naive-vs-ninja gaps for the summary.
+		var gaps []float64
+		for range bs {
+			block := ms[i : i+len(vs)]
+			i += len(vs)
+			var naive, ninja float64
+			for vi, v := range vs {
+				switch v {
+				case kernels.Naive:
+					naive = block[vi].Seconds()
+				case kernels.Ninja:
+					ninja = block[vi].Seconds()
+				}
+			}
+			gaps = append(gaps, naive/ninja)
+			for vi := range vs {
+				meas := block[vi]
+				snap.Records = append(snap.Records, report.BenchRecord{
+					Bench:   meas.Bench,
+					Version: meas.Version.String(),
+					Machine: m.Name,
+					N:       meas.N,
+					Threads: meas.Threads,
+					Seconds: meas.Seconds(),
+					GFlops:  meas.Res.GFlops,
+					Gap:     meas.Seconds() / ninja,
+					Speedup: naive / meas.Seconds(),
+					BoundBy: meas.Res.BoundBy,
+				})
+			}
+		}
+		snap.Summary[fmt.Sprintf("%s avg naive gap", m.Name)] = report.Mean(gaps)
+		snap.Summary[fmt.Sprintf("%s geomean naive gap", m.Name)] = report.Geomean(gaps)
+	}
+	return snap, nil
+}

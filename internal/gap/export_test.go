@@ -1,0 +1,67 @@
+package gap
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ninjagap/internal/kernels"
+	"ninjagap/internal/report"
+)
+
+func TestBenchExportGrid(t *testing.T) {
+	cfg := Config{Scale: 0.0001, Benches: []string{"blackscholes", "stencil"}, Jobs: 4}
+	snap, err := BenchExport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != report.SnapshotSchema {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+	wantRecords := 2 /* machines */ * 2 /* benches */ * len(kernels.Versions())
+	if len(snap.Records) != wantRecords {
+		t.Fatalf("records = %d, want %d", len(snap.Records), wantRecords)
+	}
+	if len(snap.Machines) != 2 {
+		t.Fatalf("machines = %d, want 2", len(snap.Machines))
+	}
+
+	// Per-cell invariants: ninja rows have gap 1, naive rows speedup 1,
+	// every cell positive time.
+	for _, r := range snap.Records {
+		if r.Seconds <= 0 {
+			t.Errorf("%s/%s@%s: non-positive seconds %g", r.Bench, r.Version, r.Machine, r.Seconds)
+		}
+		if r.Version == "ninja" && (r.Gap < 0.999 || r.Gap > 1.001) {
+			t.Errorf("%s ninja gap = %g, want 1", r.Bench, r.Gap)
+		}
+		if r.Version == "naive" && (r.Speedup < 0.999 || r.Speedup > 1.001) {
+			t.Errorf("%s naive speedup = %g, want 1", r.Bench, r.Speedup)
+		}
+		if r.Gap <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s/%s: non-positive gap %g / speedup %g", r.Bench, r.Version, r.Gap, r.Speedup)
+		}
+	}
+
+	// Summary holds the headline aggregates for both machines.
+	for _, key := range []string{
+		"WestmereX980 avg naive gap", "WestmereX980 geomean naive gap",
+		"KnightsFerry avg naive gap", "KnightsFerry geomean naive gap",
+	} {
+		if snap.Summary[key] <= 1 {
+			t.Errorf("summary[%q] = %g, want > 1", key, snap.Summary[key])
+		}
+	}
+
+	// The artifact is valid JSON with one object per record.
+	b, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report.Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if len(back.Records) != wantRecords {
+		t.Errorf("round-trip records = %d, want %d", len(back.Records), wantRecords)
+	}
+}

@@ -6,7 +6,7 @@
 package gap
 
 import (
-	"fmt"
+	"context"
 
 	"ninjagap/internal/exec"
 	"ninjagap/internal/kernels"
@@ -23,6 +23,16 @@ type Config struct {
 	// SkipCheck disables golden validation (never set in tests; exists so
 	// very large exploratory runs can skip re-deriving references).
 	SkipCheck bool
+	// Jobs bounds the experiment scheduler's worker pool: every figure
+	// and table fans its measurement cells out across this many
+	// goroutines. 0 means GOMAXPROCS; 1 forces serial execution. Output
+	// is byte-identical at every job count (results are assembled in
+	// cell order).
+	Jobs int
+	// Format selects the report encoding for CLI output: "text"
+	// (default), "json", or "csv". The library renderers ignore it; the
+	// cmd/ninjagap output layer honors it.
+	Format string
 }
 
 func (c Config) scale() float64 {
@@ -92,42 +102,31 @@ func (m *Measurement) Seconds() float64 { return m.Res.Seconds }
 
 // Measure prepares, runs and validates one benchmark version. Serial
 // versions (naive, autovec) run on one thread per the paper's gap
-// definition; the rest use every hardware thread.
+// definition; the rest use every hardware thread. Results are memoized
+// process-wide: a (benchmark, version, machine, n) cell shared between
+// figures is measured exactly once (see Memo / ResetMemo).
 func Measure(b kernels.Benchmark, v kernels.Version, m *machine.Machine, n int, skipCheck bool) (*Measurement, error) {
-	inst, err := b.Prepare(v, m, n)
-	if err != nil {
-		return nil, err
-	}
-	threads := m.HWThreads()
-	if v.Serial() {
-		threads = 1
-	}
-	res, err := exec.Run(inst.Prog, inst.Arrays, m, exec.Options{Threads: threads})
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s on %s: %w", b.Name(), v, m.Name, err)
-	}
-	if !skipCheck {
-		if err := inst.Check(); err != nil {
-			return nil, fmt.Errorf("%s/%s on %s: functional check failed: %w", b.Name(), v, m.Name, err)
-		}
-	}
-	return &Measurement{
-		Bench: b.Name(), Version: v, Machine: m.Name, N: n,
-		Threads: threads, Res: res, Inst: inst,
-	}, nil
+	c := Cell{Bench: b, Version: v, Machine: m, N: n}
+	return sharedMemo.do(c.key(skipCheck), func() (*Measurement, error) {
+		return measureCell(c, skipCheck)
+	})
 }
 
 // MeasureVersions measures a set of versions of one benchmark at its
-// scaled size.
+// scaled size, fanning the versions out across the configured scheduler.
 func MeasureVersions(b kernels.Benchmark, m *machine.Machine, cfg Config, vs ...kernels.Version) (map[kernels.Version]*Measurement, error) {
+	cells := make([]Cell, len(vs))
 	n := SizeFor(b, cfg)
+	for i, v := range vs {
+		cells[i] = Cell{Bench: b, Version: v, Machine: m, N: n}
+	}
+	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[kernels.Version]*Measurement, len(vs))
-	for _, v := range vs {
-		meas, err := Measure(b, v, m, n, cfg.SkipCheck)
-		if err != nil {
-			return nil, err
-		}
-		out[v] = meas
+	for i, v := range vs {
+		out[v] = ms[i]
 	}
 	return out, nil
 }

@@ -161,14 +161,15 @@ func TestVecReportExplainsFailures(t *testing.T) {
 func TestTables(t *testing.T) {
 	cfg := tiny
 	cfg.Benches = []string{"blackscholes"}
-	s, err := Table1Suite(cfg)
+	tbl, err := Table1Suite(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	s := tbl.String()
 	if !strings.Contains(s, "blackscholes") || !strings.Contains(s, "finance") {
 		t.Errorf("table1 missing content:\n%s", s)
 	}
-	s2 := Table2Machines()
+	s2 := Table2Machines().String()
 	for _, want := range []string{"WestmereX980", "KnightsFerry", "Core2Quad"} {
 		if !strings.Contains(s2, want) {
 			t.Errorf("table2 missing %s", want)

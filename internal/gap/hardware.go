@@ -1,28 +1,13 @@
 package gap
 
 import (
+	"context"
 	"fmt"
 
-	"ninjagap/internal/exec"
 	"ninjagap/internal/kernels"
 	"ninjagap/internal/machine"
 	"ninjagap/internal/report"
 )
-
-// runInst executes a prepared instance at a given thread count and returns
-// simulated seconds.
-func runInst(inst *kernels.Instance, m *machine.Machine, threads int, skipCheck bool) (float64, error) {
-	res, err := exec.Run(inst.Prog, inst.Arrays, m, exec.Options{Threads: threads})
-	if err != nil {
-		return 0, err
-	}
-	if !skipCheck {
-		if err := inst.Check(); err != nil {
-			return 0, err
-		}
-	}
-	return res.Seconds, nil
-}
 
 // HWRow is one benchmark's hardware-support comparison.
 type HWRow struct {
@@ -58,27 +43,30 @@ func Fig7Hardware(cfg Config) (*HWResult, error) {
 	feat.FMA = true
 	hw := base.WithFeatures(feat)
 
-	out := &HWResult{}
+	// Four cells per benchmark: pragma and algo, each on the base machine
+	// and the gather/scatter+FMA variant.
+	var cells []Cell
 	for _, b := range bs {
 		n := SizeFor(b, cfg)
-		row := HWRow{Bench: b.Name()}
 		for _, v := range []kernels.Version{kernels.Pragma, kernels.Algo} {
-			mb, err := Measure(b, v, base, n, cfg.SkipCheck)
-			if err != nil {
-				return nil, err
-			}
-			mh, err := Measure(b, v, hw, n, cfg.SkipCheck)
-			if err != nil {
-				return nil, err
-			}
-			sp := mb.Seconds() / mh.Seconds()
-			if v == kernels.Pragma {
-				row.Base, row.WithHW, row.Speedup = mb.Seconds(), mh.Seconds(), sp
-			} else {
-				row.AlgoSpeedup = sp
-			}
+			cells = append(cells,
+				Cell{Bench: b, Version: v, Machine: base, N: n},
+				Cell{Bench: b, Version: v, Machine: hw, N: n})
 		}
-		out.Rows = append(out.Rows, row)
+	}
+	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	if err != nil {
+		return nil, err
+	}
+	out := &HWResult{}
+	for bi, b := range bs {
+		pb, ph := ms[bi*4].Seconds(), ms[bi*4+1].Seconds()
+		ab, ah := ms[bi*4+2].Seconds(), ms[bi*4+3].Seconds()
+		out.Rows = append(out.Rows, HWRow{
+			Bench: b.Name(),
+			Base:  pb, WithHW: ph, Speedup: pb / ph,
+			AlgoSpeedup: ab / ah,
+		})
 	}
 	return out, nil
 }
@@ -120,19 +108,27 @@ func Fig8Effort(cfg Config) (*EffortResult, error) {
 	}
 	m := machine.WestmereX980()
 	vs := kernels.Versions()
-	out := &EffortResult{}
+	var cells []Cell
 	for _, b := range bs {
-		ms, err := MeasureVersions(b, m, cfg, vs...)
-		if err != nil {
-			return nil, err
+		n := SizeFor(b, cfg)
+		for _, v := range vs {
+			cells = append(cells, Cell{Bench: b, Version: v, Machine: m, N: n})
 		}
+	}
+	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	if err != nil {
+		return nil, err
+	}
+	out := &EffortResult{}
+	for bi, b := range bs {
 		row := EffortRow{Bench: b.Name(),
 			Stmts:   map[kernels.Version]int{},
 			Speedup: map[kernels.Version]float64{}}
-		naive := ms[kernels.Naive].Seconds()
-		for _, v := range vs {
-			row.Stmts[v] = ms[v].Inst.SourceStmts
-			row.Speedup[v] = naive / ms[v].Seconds()
+		base := bi * len(vs)
+		naive := ms[base].Seconds()
+		for vi, v := range vs {
+			row.Stmts[v] = ms[base+vi].Inst.SourceStmts
+			row.Speedup[v] = naive / ms[base+vi].Seconds()
 		}
 		out.Rows = append(out.Rows, row)
 	}
@@ -173,80 +169,71 @@ type ScalePoint struct {
 // a bandwidth-bound kernel (showing saturation).
 func Ablate(cfg Config) (*AblationResult, error) {
 	m := machine.WestmereX980()
-	out := &AblationResult{}
 
-	for _, name := range []string{"stencil", "lbm", "blackscholes"} {
+	prefetchBenches := []string{"stencil", "lbm", "blackscholes"}
+	smtBenches := []string{"treesearch", "volumerender", "backprojection"}
+	scalingCores := []int{1, 2, 3, 4, 6}
+
+	// Enumerate the whole ablation grid as cells: prefetcher on/off pairs,
+	// SMT on/off pairs, then the core-scaling sweep.
+	var cells []Cell
+	for _, name := range prefetchBenches {
 		b, err := kernels.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		n := SizeFor(b, cfg)
-		inst, err := b.Prepare(kernels.Algo, m, n)
-		if err != nil {
-			return nil, err
-		}
-		on, err := exec.Run(inst.Prog, inst.Arrays, m, exec.Options{Threads: m.HWThreads()})
-		if err != nil {
-			return nil, err
-		}
-		inst2, err := b.Prepare(kernels.Algo, m, n)
-		if err != nil {
-			return nil, err
-		}
-		off, err := exec.Run(inst2.Prog, inst2.Arrays, m, exec.Options{Threads: m.HWThreads(), DisablePrefetch: true})
-		if err != nil {
-			return nil, err
-		}
-		out.Prefetch = append(out.Prefetch, HWRow{
-			Bench: name, Base: off.Seconds, WithHW: on.Seconds,
-			Speedup: off.Seconds / on.Seconds,
-		})
+		cells = append(cells,
+			Cell{Bench: b, Version: kernels.Algo, Machine: m, N: n, Threads: m.HWThreads()},
+			Cell{Bench: b, Version: kernels.Algo, Machine: m, N: n, Threads: m.HWThreads(), DisablePrefetch: true})
 	}
-
-	for _, name := range []string{"treesearch", "volumerender", "backprojection"} {
+	for _, name := range smtBenches {
 		b, err := kernels.ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		n := SizeFor(b, cfg)
-		inst, err := b.Prepare(kernels.Algo, m, n)
-		if err != nil {
-			return nil, err
-		}
-		noSMT, err := exec.Run(inst.Prog, inst.Arrays, m, exec.Options{Threads: m.Cores})
-		if err != nil {
-			return nil, err
-		}
-		inst2, err := b.Prepare(kernels.Algo, m, n)
-		if err != nil {
-			return nil, err
-		}
-		smt, err := exec.Run(inst2.Prog, inst2.Arrays, m, exec.Options{Threads: m.HWThreads()})
-		if err != nil {
-			return nil, err
-		}
-		out.SMT = append(out.SMT, HWRow{
-			Bench: name, Base: noSMT.Seconds, WithHW: smt.Seconds,
-			Speedup: noSMT.Seconds / smt.Seconds,
-		})
+		cells = append(cells,
+			Cell{Bench: b, Version: kernels.Algo, Machine: m, N: n, Threads: m.Cores},
+			Cell{Bench: b, Version: kernels.Algo, Machine: m, N: n, Threads: m.HWThreads()})
 	}
-
-	b, err := kernels.ByName("stencil")
+	stencil, err := kernels.ByName("stencil")
 	if err != nil {
 		return nil, err
 	}
-	n := SizeFor(b, cfg)
-	for _, cores := range []int{1, 2, 3, 4, 6} {
+	sn := SizeFor(stencil, cfg)
+	for _, cores := range scalingCores {
 		mc := m.WithCores(cores)
-		inst, err := b.Prepare(kernels.Algo, mc, n)
-		if err != nil {
-			return nil, err
-		}
-		res, err := exec.Run(inst.Prog, inst.Arrays, mc, exec.Options{Threads: cores})
-		if err != nil {
-			return nil, err
-		}
-		out.Scaling = append(out.Scaling, ScalePoint{Bench: "stencil", Cores: cores, Seconds: res.Seconds})
+		cells = append(cells,
+			Cell{Bench: stencil, Version: kernels.Algo, Machine: mc, N: sn, Threads: cores})
+	}
+
+	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &AblationResult{}
+	i := 0
+	for _, name := range prefetchBenches {
+		on, off := ms[i].Seconds(), ms[i+1].Seconds()
+		i += 2
+		out.Prefetch = append(out.Prefetch, HWRow{
+			Bench: name, Base: off, WithHW: on, Speedup: off / on,
+		})
+	}
+	for _, name := range smtBenches {
+		noSMT, smt := ms[i].Seconds(), ms[i+1].Seconds()
+		i += 2
+		out.SMT = append(out.SMT, HWRow{
+			Bench: name, Base: noSMT, WithHW: smt, Speedup: noSMT / smt,
+		})
+	}
+	for _, cores := range scalingCores {
+		out.Scaling = append(out.Scaling, ScalePoint{
+			Bench: "stencil", Cores: cores, Seconds: ms[i].Seconds(),
+		})
+		i++
 	}
 	return out, nil
 }
@@ -275,34 +262,38 @@ func (r *AblationResult) Render() string {
 	return t1.String() + "\n" + t2.String() + "\n" + t3.String()
 }
 
-// Table1Suite renders the benchmark characterization table (paper Table 1)
-// with measured characteristics.
-func Table1Suite(cfg Config) (string, error) {
+// Table1Suite builds the benchmark characterization table (paper Table 1)
+// with measured characteristics. Render it with Table.String, or encode
+// it with Table.JSON / Table.CSV.
+func Table1Suite(cfg Config) (*report.Table, error) {
 	bs, err := cfg.benches()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	m := machine.WestmereX980()
-	t := report.NewTable("table1: throughput-computing benchmark suite",
-		"bench", "domain", "character", "size", "naive GF/s", "ninja GF/s", "ninja bound")
+	var cells []Cell
 	for _, b := range bs {
 		n := SizeFor(b, cfg)
-		nv, err := Measure(b, kernels.Naive, m, n, cfg.SkipCheck)
-		if err != nil {
-			return "", err
-		}
-		nj, err := Measure(b, kernels.Ninja, m, n, cfg.SkipCheck)
-		if err != nil {
-			return "", err
-		}
-		t.Add(b.Name(), b.Domain(), b.Character(), fmt.Sprintf("%d", n),
+		cells = append(cells,
+			Cell{Bench: b, Version: kernels.Naive, Machine: m, N: n},
+			Cell{Bench: b, Version: kernels.Ninja, Machine: m, N: n})
+	}
+	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("table1: throughput-computing benchmark suite",
+		"bench", "domain", "character", "size", "naive GF/s", "ninja GF/s", "ninja bound")
+	for bi, b := range bs {
+		nv, nj := ms[bi*2], ms[bi*2+1]
+		t.Add(b.Name(), b.Domain(), b.Character(), fmt.Sprintf("%d", nv.N),
 			nv.Res.GFlops, nj.Res.GFlops, nj.Res.BoundBy)
 	}
-	return t.String(), nil
+	return t, nil
 }
 
-// Table2Machines renders the platform table (paper Table 2).
-func Table2Machines() string {
+// Table2Machines builds the platform table (paper Table 2).
+func Table2Machines() *report.Table {
 	t := report.NewTable("table2: modeled platforms",
 		"machine", "year", "cores", "SMT", "SIMD f32", "GHz", "LLC", "GB/s", "gather", "FMA")
 	for _, m := range machine.All() {
@@ -310,5 +301,5 @@ func Table2Machines() string {
 			fmt.Sprintf("%dK", m.LLC().SizeBytes>>10), m.Mem.BandwidthGBps,
 			m.Feat.HWGather, m.Feat.FMA)
 	}
-	return t.String()
+	return t
 }

@@ -1,0 +1,104 @@
+package gap
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ninjagap/internal/machine"
+)
+
+// cellKey identifies one measurement in the experiment grid. Two cells
+// with the same key are guaranteed to produce identical Measurements
+// (inputs are seeded, the simulator is deterministic), so the memo cache
+// may serve one for the other. The machine is fingerprinted by name plus
+// the fields the experiments mutate on clones (core count, feature set) —
+// WithCores/WithFeatures keep the preset name, so the name alone would
+// conflate e.g. the base Westmere with Fig 7's gather/FMA variant.
+type cellKey struct {
+	Bench      string
+	Version    string
+	Machine    string
+	N          int
+	Threads    int // 0 = version default
+	NoPrefetch bool
+	Skip       bool
+}
+
+// machineSig fingerprints a machine for memo keying.
+func machineSig(m *machine.Machine) string {
+	return fmt.Sprintf("%s|c%d|%.3g|%+v", m.Name, m.Cores, m.FreqGHz, m.Feat)
+}
+
+// memoEntry is one cache slot. The sync.Once gives singleflight
+// semantics: concurrent workers requesting the same cell block on one
+// computation instead of measuring it twice.
+type memoEntry struct {
+	once sync.Once
+	meas *Measurement
+	err  error
+}
+
+// Memo is a concurrency-safe measurement cache. The zero value is not
+// usable; call NewMemo.
+type Memo struct {
+	mu      sync.Mutex
+	entries map[cellKey]*memoEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewMemo returns an empty measurement cache.
+func NewMemo() *Memo {
+	return &Memo{entries: map[cellKey]*memoEntry{}}
+}
+
+// do returns the memoized measurement for key, computing it with f on
+// first request. Errors are cached too: a failing cell fails every figure
+// that needs it, identically.
+func (mo *Memo) do(key cellKey, f func() (*Measurement, error)) (*Measurement, error) {
+	mo.mu.Lock()
+	e, ok := mo.entries[key]
+	if !ok {
+		e = &memoEntry{}
+		mo.entries[key] = e
+	}
+	mo.mu.Unlock()
+	if ok {
+		mo.hits.Add(1)
+	} else {
+		mo.misses.Add(1)
+	}
+	e.once.Do(func() { e.meas, e.err = f() })
+	return e.meas, e.err
+}
+
+// Stats reports cache traffic: hits are requests served from (or coalesced
+// onto) an existing entry, misses are entries computed.
+func (mo *Memo) Stats() (hits, misses int64) {
+	return mo.hits.Load(), mo.misses.Load()
+}
+
+// Len returns the number of cached cells.
+func (mo *Memo) Len() int {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return len(mo.entries)
+}
+
+// sharedMemo is the process-wide cache: cells shared between figures
+// (fig1's naive/ninja column reappears in fig4, fig8, table1, ...) are
+// measured exactly once per process.
+var sharedMemo = NewMemo()
+
+// ResetMemo clears the process-wide measurement cache. The benchmark
+// harness calls it between iterations so memoization does not turn
+// repeated figure regenerations into cache lookups.
+func ResetMemo() {
+	sharedMemo.mu.Lock()
+	sharedMemo.entries = map[cellKey]*memoEntry{}
+	sharedMemo.mu.Unlock()
+}
+
+// MemoStats exposes the process-wide cache statistics (hits, misses).
+func MemoStats() (hits, misses int64) { return sharedMemo.Stats() }

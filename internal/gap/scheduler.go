@@ -1,0 +1,209 @@
+package gap
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ninjagap/internal/exec"
+	"ninjagap/internal/kernels"
+	"ninjagap/internal/machine"
+)
+
+// Cell is one point of an experiment grid: a benchmark version prepared
+// at one size and executed on one machine. The figure and table drivers
+// enumerate their cells up front and hand them to a Scheduler, which fans
+// them out across a worker pool and returns results in cell order —
+// parallel execution, deterministic assembly.
+type Cell struct {
+	Bench   kernels.Benchmark
+	Version kernels.Version
+	Machine *machine.Machine
+	// N is the prepared problem size (already legalized via LegalN).
+	N int
+	// Threads overrides the version's default thread count when nonzero
+	// (Fig 3 isolates SIMD from TLP by running the pragma version on one
+	// thread; the ablations sweep explicit counts).
+	Threads int
+	// DisablePrefetch turns the hardware prefetcher off (ablation E9).
+	DisablePrefetch bool
+}
+
+// key forms the memo-cache identity of the cell. The effective thread
+// count is used so an explicit Threads equal to the version default
+// shares a cache entry with the default cell (e.g. the SMT ablation's
+// all-threads run is fig5's algo cell).
+func (c Cell) key(skipCheck bool) cellKey {
+	return cellKey{
+		Bench:      c.Bench.Name(),
+		Version:    c.Version.String(),
+		Machine:    machineSig(c.Machine),
+		N:          c.N,
+		Threads:    c.threads(),
+		NoPrefetch: c.DisablePrefetch,
+		Skip:       skipCheck,
+	}
+}
+
+// threads resolves the effective thread count: serial versions run one
+// thread per the paper's gap definition, everything else uses every
+// hardware thread.
+func (c Cell) threads() int {
+	if c.Threads != 0 {
+		return c.Threads
+	}
+	if c.Version.Serial() {
+		return 1
+	}
+	return c.Machine.HWThreads()
+}
+
+// measureCell prepares, runs and validates one cell. It is the single
+// execution path behind Measure and the Scheduler.
+func measureCell(c Cell, skipCheck bool) (*Measurement, error) {
+	inst, err := c.Bench.Prepare(c.Version, c.Machine, c.N)
+	if err != nil {
+		return nil, err
+	}
+	threads := c.threads()
+	res, err := exec.Run(inst.Prog, inst.Arrays, c.Machine,
+		exec.Options{Threads: threads, DisablePrefetch: c.DisablePrefetch})
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s on %s: %w", c.Bench.Name(), c.Version, c.Machine.Name, err)
+	}
+	if !skipCheck {
+		if err := inst.Check(); err != nil {
+			return nil, fmt.Errorf("%s/%s on %s: functional check failed: %w",
+				c.Bench.Name(), c.Version, c.Machine.Name, err)
+		}
+	}
+	return &Measurement{
+		Bench: c.Bench.Name(), Version: c.Version, Machine: c.Machine.Name, N: c.N,
+		Threads: threads, Res: res, Inst: inst,
+	}, nil
+}
+
+// Scheduler fans measurement cells out across a bounded goroutine pool,
+// serving repeated cells from a memo cache. Results are returned in input
+// order regardless of completion order, so every figure renders
+// byte-identically at any job count.
+type Scheduler struct {
+	jobs      int
+	memo      *Memo
+	skipCheck bool
+}
+
+// NewScheduler builds a scheduler with its own memo cache. jobs bounds
+// the worker pool; 0 means GOMAXPROCS.
+func NewScheduler(jobs int, memo *Memo, skipCheck bool) *Scheduler {
+	if memo == nil {
+		memo = NewMemo()
+	}
+	return &Scheduler{jobs: jobs, memo: memo, skipCheck: skipCheck}
+}
+
+// scheduler returns the configured scheduler for an experiment run,
+// backed by the process-wide memo cache so cells shared between figures
+// are measured exactly once per process.
+func (c Config) scheduler() *Scheduler {
+	return NewScheduler(c.Jobs, sharedMemo, c.SkipCheck)
+}
+
+// workers resolves the pool size.
+func (s *Scheduler) workers(n int) int {
+	w := s.jobs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// measure runs one cell through the memo cache.
+func (s *Scheduler) measure(c Cell) (*Measurement, error) {
+	return s.memo.do(c.key(s.skipCheck), func() (*Measurement, error) {
+		return measureCell(c, s.skipCheck)
+	})
+}
+
+// Run measures every cell and returns results in cell order: results[i]
+// belongs to cells[i]. The first failing cell (by input order) cancels
+// the remaining work via ctx and is returned as the error; cells already
+// in flight finish, cells not yet started are skipped.
+func (s *Scheduler) Run(ctx context.Context, cells []Cell) ([]*Measurement, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]*Measurement, len(cells))
+	errs := make([]error, len(cells))
+	if len(cells) == 0 {
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers(len(cells)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					errs[i] = ctx.Err()
+					continue
+				}
+				m, err := s.measure(cells[i])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = m
+			}
+		}()
+	}
+	feeding := true
+	for i := 0; i < len(cells); i++ {
+		if feeding {
+			select {
+			case idx <- i:
+				continue
+			case <-ctx.Done():
+				feeding = false
+			}
+		}
+		// Unfed cells were never handed to a worker; mark them cancelled
+		// so the error scan below sees the whole batch accounted for.
+		errs[i] = ctx.Err()
+	}
+	close(idx)
+	wg.Wait()
+
+	// Deterministic error reporting: the lowest-index real failure wins
+	// over cancellations it caused.
+	var cancelled error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err == context.Canceled && ctx.Err() == context.Canceled {
+			if cancelled == nil {
+				cancelled = fmt.Errorf("cell %d cancelled: %w", i, err)
+			}
+			continue
+		}
+		return nil, err
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	return results, nil
+}

@@ -1,0 +1,103 @@
+package gap
+
+// Edge-case coverage for the size legalization the scheduler's cell keys
+// rely on: two cells only share a memo entry when their legalized sizes
+// agree, so LegalN/SizeFor must be total and deterministic on degenerate
+// inputs (n=0, negative, tiny scales, benchmark-specific constraints).
+
+import (
+	"testing"
+
+	"ninjagap/internal/kernels"
+)
+
+func TestLegalNFloorsAtTestN(t *testing.T) {
+	for _, b := range kernels.All() {
+		for _, n := range []int{0, -5, 1} {
+			got := LegalN(b, n)
+			if got < 1 {
+				t.Errorf("%s: LegalN(%d) = %d, not positive", b.Name(), n, got)
+			}
+			// The floor is TestN before benchmark-specific rounding; the
+			// rounded result must stay within one rounding step of it.
+			if got > b.TestN() {
+				t.Errorf("%s: LegalN(%d) = %d exceeds TestN %d on degenerate input",
+					b.Name(), n, got, b.TestN())
+			}
+		}
+	}
+}
+
+func TestLegalNIdempotent(t *testing.T) {
+	for _, b := range kernels.All() {
+		for _, n := range []int{0, 100, 1000, 123457} {
+			once := LegalN(b, n)
+			twice := LegalN(b, once)
+			if once != twice {
+				t.Errorf("%s: LegalN not idempotent: LegalN(%d)=%d, LegalN(%d)=%d",
+					b.Name(), n, once, once, twice)
+			}
+		}
+	}
+}
+
+func TestLegalNMergesortPowerOfTwo(t *testing.T) {
+	ms, err := kernels.ByName("mergesort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ in, want int }{
+		{1024, 1024}, {1025, 1024}, {2047, 1024}, {2048, 2048},
+	} {
+		if got := LegalN(ms, tc.in); got != tc.want {
+			t.Errorf("mergesort LegalN(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	// Degenerate inputs still land on a power of two.
+	for _, n := range []int{0, -1, 3} {
+		got := LegalN(ms, n)
+		if got&(got-1) != 0 || got == 0 {
+			t.Errorf("mergesort LegalN(%d) = %d, not a power of two", n, got)
+		}
+	}
+}
+
+func TestLegalNBlockedKernelsMultipleOf64(t *testing.T) {
+	for _, name := range []string{"complexconv", "libor", "blackscholes", "treesearch"} {
+		b, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{0, 63, 64, 65, 130, 999} {
+			got := LegalN(b, n)
+			if got%64 != 0 || got == 0 {
+				t.Errorf("%s: LegalN(%d) = %d, want positive multiple of 64", name, n, got)
+			}
+		}
+	}
+}
+
+func TestSizeForScaleHandling(t *testing.T) {
+	b, err := kernels.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scale 0 means 1.0 (the evaluation size).
+	if got, want := SizeFor(b, Config{}), SizeFor(b, Config{Scale: 1}); got != want {
+		t.Errorf("SizeFor(scale 0) = %d, want evaluation size %d", got, want)
+	}
+	// Negative scale falls back to 1.0 as well.
+	if got, want := SizeFor(b, Config{Scale: -2}), SizeFor(b, Config{Scale: 1}); got != want {
+		t.Errorf("SizeFor(scale -2) = %d, want evaluation size %d", got, want)
+	}
+	// A microscopic scale clamps to the benchmark's legalized test floor,
+	// never zero.
+	tinySize := SizeFor(b, Config{Scale: 1e-9})
+	if tinySize <= 0 || tinySize%64 != 0 {
+		t.Errorf("SizeFor(tiny) = %d, want positive multiple of 64", tinySize)
+	}
+	// Scales below one shrink monotonically.
+	if half, full := SizeFor(b, Config{Scale: 0.5}), SizeFor(b, Config{Scale: 1}); half > full {
+		t.Errorf("SizeFor(0.5) = %d exceeds SizeFor(1) = %d", half, full)
+	}
+}

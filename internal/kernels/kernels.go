@@ -52,6 +52,20 @@ func (v Version) String() string {
 // Versions lists the ladder in order.
 func Versions() []Version { return []Version{Naive, AutoVec, Pragma, Algo, Ninja} }
 
+// MarshalText encodes the version by name, so JSON objects keyed by
+// Version read "naive"/"pragma"/... instead of integer strings.
+func (v Version) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText decodes a version name.
+func (v *Version) UnmarshalText(b []byte) error {
+	parsed, err := ParseVersion(string(b))
+	if err != nil {
+		return err
+	}
+	*v = parsed
+	return nil
+}
+
 // ParseVersion resolves a version name.
 func ParseVersion(s string) (Version, error) {
 	for i, n := range versionNames {

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableJSONAndCSV(t *testing.T) {
+	tb := NewTable("t", "bench", "gap")
+	tb.Add("conv2d", 74.0)
+	tb.Add("with,comma", `with "quotes"`)
+
+	b, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("table JSON does not round-trip: %v\n%s", err, b)
+	}
+	if decoded.Title != "t" || len(decoded.Rows) != 2 || decoded.Rows[0][1] != "74.0" {
+		t.Errorf("table JSON content wrong: %+v", decoded)
+	}
+
+	csvText := tb.CSV()
+	if !strings.HasPrefix(csvText, "bench,gap\n") {
+		t.Errorf("csv missing header row:\n%s", csvText)
+	}
+	if !strings.Contains(csvText, `"with,comma"`) || !strings.Contains(csvText, `"with ""quotes"""`) {
+		t.Errorf("csv quoting broken:\n%s", csvText)
+	}
+}
+
+func TestBarChartJSONAndCSV(t *testing.T) {
+	c := NewBarChart("gaps", "x", true)
+	c.Add("nbody", 48.6, "big")
+	c.Add("stencil", 6.3, "")
+
+	b, err := c.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title string `json:"title"`
+		Bars  []struct {
+			Label string  `json:"label"`
+			Value float64 `json:"value"`
+			Note  string  `json:"note"`
+		} `json:"bars"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("chart JSON invalid: %v", err)
+	}
+	if len(decoded.Bars) != 2 || decoded.Bars[0].Value != 48.6 || decoded.Bars[1].Note != "" {
+		t.Errorf("chart JSON content wrong: %+v", decoded)
+	}
+
+	csvText := c.CSV()
+	if !strings.HasPrefix(csvText, "label,value,note\n") || !strings.Contains(csvText, "nbody,48.6,big") {
+		t.Errorf("chart csv wrong:\n%s", csvText)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := &Snapshot{
+		Schema: SnapshotSchema,
+		Scale:  0.1,
+		Jobs:   4,
+		Machines: []MachineInfo{{
+			Name: "WestmereX980", Year: 2010, Cores: 6, SMT: 2, SIMDF32: 4,
+			FreqGHz: 3.33, BandwidthGBps: 24,
+		}},
+		Records: []BenchRecord{{
+			Bench: "nbody", Version: "naive", Machine: "WestmereX980",
+			N: 1024, Threads: 1, Seconds: 0.5, GFlops: 1.2,
+			Gap: 48.6, Speedup: 1.0, BoundBy: "fp-mul",
+		}},
+		Summary: map[string]float64{"WestmereX980 avg naive gap": 48.6},
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Error("WriteJSON missing trailing newline")
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if back.Schema != SnapshotSchema || len(back.Records) != 1 ||
+		back.Records[0].Gap != 48.6 || back.Machines[0].Cores != 6 {
+		t.Errorf("round-trip lost data: %+v", back)
+	}
+}

@@ -106,6 +106,29 @@ func Execute(inst *Instance, m *Machine, opt Options) (*Result, error) {
 // Measurement is a validated run of one benchmark version.
 type Measurement = gap.Measurement
 
+// Cell is one point of an experiment grid (benchmark x version x machine
+// x size), the unit the experiment scheduler fans out.
+type Cell = gap.Cell
+
+// Scheduler fans measurement cells out across a bounded worker pool with
+// memoized, deterministically ordered results.
+type Scheduler = gap.Scheduler
+
+// Memo is a concurrency-safe measurement cache; NewMemo builds one for a
+// private Scheduler (experiments share a process-wide cache).
+type Memo = gap.Memo
+
+// NewMemo / NewScheduler build private caches and pools; ResetMemo clears
+// the process-wide cache (the benchmark harness uses it so memoization
+// does not turn repeated figure regenerations into lookups); MemoStats
+// reports process-wide cache traffic.
+var (
+	NewMemo      = gap.NewMemo
+	NewScheduler = gap.NewScheduler
+	ResetMemo    = gap.ResetMemo
+	MemoStats    = gap.MemoStats
+)
+
 // Run prepares, executes, and functionally validates one benchmark version
 // at size n (serial versions run one thread, per the paper's gap
 // definition).
@@ -160,6 +183,25 @@ func RunCompiled(c *Compiled, buffers map[string]*Buffer, m *Machine, opt Option
 	return exec.Run(c.Prog, buffers, m, opt)
 }
 
+// Experiment result types, for callers that render or encode figures
+// themselves.
+type (
+	// GapResult is one gap figure's data (fig1).
+	GapResult = gap.GapResult
+	// TrendResult is the cross-generation trend (fig2).
+	TrendResult = gap.TrendResult
+	// BreakdownResult is the SIMD/TLP/rest decomposition (fig3).
+	BreakdownResult = gap.BreakdownResult
+	// LadderResult carries full per-version gaps (fig4/5/6).
+	LadderResult = gap.LadderResult
+	// HWResult is the hardware-support comparison (fig7).
+	HWResult = gap.HWResult
+	// EffortResult is the effort-vs-performance table (fig8).
+	EffortResult = gap.EffortResult
+	// AblationResult holds the design ablations (E9).
+	AblationResult = gap.AblationResult
+)
+
 // Experiment drivers: each regenerates one table or figure of the paper's
 // evaluation (see DESIGN.md's experiment index).
 var (
@@ -175,4 +217,7 @@ var (
 	Table1Suite     = gap.Table1Suite
 	Table2Machines  = gap.Table2Machines
 	VecReport       = gap.VecReport
+	// BenchExport measures the full grid and packages it as the
+	// machine-readable BENCH_results.json snapshot.
+	BenchExport = gap.BenchExport
 )
