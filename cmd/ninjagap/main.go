@@ -110,157 +110,34 @@ func run(cmd string, cfg ninjagap.Config, outFile, machineName, version string, 
 	return nil
 }
 
-// output pairs a command's renderable text with its data value, so every
-// command can emit text, JSON, or (where it is tabular) CSV.
-type output struct {
-	text func() string
-	data interface{}
-	// csv renders the tabular encoding; nil means CSV is unsupported.
-	csv func() string
-}
+// output is the shared driver-output type: renderable text plus the data
+// value behind it, emitted as text, JSON, or (where tabular) CSV. The
+// experiment drivers live behind ninjagap.Dispatch so this CLI and the
+// ninjagapd daemon produce byte-identical encodings.
+type output = ninjagap.Output
 
 // emit writes one command's output in the selected format.
 func emit(w io.Writer, format string, out output) error {
-	switch format {
-	case "", "text":
-		_, err := io.WriteString(w, out.text())
-		return err
-	case "json":
-		b, err := json.MarshalIndent(out.data, "", "  ")
-		if err != nil {
-			return err
-		}
-		b = append(b, '\n')
-		_, err = w.Write(b)
-		return err
-	case "csv":
-		if out.csv == nil {
-			return fmt.Errorf("csv output is only supported for table1, table2 and bench-export")
-		}
-		_, err := io.WriteString(w, out.csv())
-		return err
-	default:
-		return fmt.Errorf("unknown format %q (want text, json or csv)", format)
-	}
-}
-
-// tableOutput wraps a report table, which supports all three encodings.
-func tableOutput(t *report.Table) output {
-	return output{text: t.String, data: t, csv: t.CSV}
+	return out.Emit(w, format)
 }
 
 func dispatch(cmd string, cfg ninjagap.Config, machineName, version string, n int) (output, error) {
 	switch cmd {
-	case "table1":
-		t, err := ninjagap.Table1Suite(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return tableOutput(t), nil
-	case "table2":
-		return tableOutput(ninjagap.Table2Machines()), nil
-	case "fig1":
-		r, err := ninjagap.Fig1NinjaGap(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{text: func() string { return r.Render(ninjagap.Naive) }, data: r}, nil
-	case "fig2":
-		r, err := ninjagap.Fig2Trend(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{text: r.Render, data: r}, nil
-	case "fig3":
-		r, err := ninjagap.Fig3Breakdown(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{text: r.Render, data: r}, nil
-	case "fig4":
-		r, err := ninjagap.Fig4Compiler(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		diag, err := ninjagap.VecReport(ninjagap.AutoVec, cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{
-			text: func() string {
-				return r.Render() + "\nauto-vectorization diagnostics:\n" + diag
-			},
-			data: struct {
-				*ninjagap.LadderResult
-				Diagnostics string `json:"diagnostics"`
-			}{r, diag},
-		}, nil
-	case "fig5":
-		r, err := ninjagap.Fig5Algorithmic(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{text: r.Render, data: r}, nil
-	case "fig6":
-		r, err := ninjagap.Fig6MIC(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{text: r.Render, data: r}, nil
-	case "fig7":
-		r, err := ninjagap.Fig7Hardware(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{text: r.Render, data: r}, nil
-	case "fig8":
-		r, err := ninjagap.Fig8Effort(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{text: r.Render, data: r}, nil
-	case "ablate":
-		r, err := ninjagap.Ablate(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{text: r.Render, data: r}, nil
-	case "bench-export":
-		snap, err := ninjagap.BenchExport(cfg)
-		if err != nil {
-			return output{}, err
-		}
-		return output{
-			text: func() string { b, _ := snap.JSON(); return string(b) + "\n" },
-			data: snap,
-			csv:  func() string { return recordsCSV(snap) },
-		}, nil
 	case "run":
 		return runOne(cfg, machineName, version, n)
 	case "list":
 		return listOutput(), nil
-	default:
+	}
+	out, err := ninjagap.Dispatch(cmd, cfg)
+	if err != nil && strings.HasPrefix(err.Error(), "unknown experiment") {
 		usage()
 		return output{}, fmt.Errorf("unknown command %q", cmd)
 	}
-}
-
-// recordsCSV flattens a snapshot's records.
-func recordsCSV(s *report.Snapshot) string {
-	t := report.NewTable("", "bench", "version", "machine", "n", "threads",
-		"seconds", "gflops", "gap", "speedup", "bound_by")
-	for _, r := range s.Records {
-		t.Add(r.Bench, r.Version, r.Machine, fmt.Sprintf("%d", r.N),
-			fmt.Sprintf("%d", r.Threads), fmt.Sprintf("%g", r.Seconds),
-			fmt.Sprintf("%g", r.GFlops), fmt.Sprintf("%g", r.Gap),
-			fmt.Sprintf("%g", r.Speedup), r.BoundBy)
-	}
-	return t.CSV()
+	return out, err
 }
 
 // allOrder is the `all` command's sequence.
-var allOrder = []string{"table2", "table1", "fig1", "fig2", "fig3",
-	"fig4", "fig5", "fig6", "fig7", "fig8", "ablate"}
+var allOrder = ninjagap.DriverIDs()
 
 func runAll(w io.Writer, cfg ninjagap.Config) error {
 	if cfg.Format == "csv" {
@@ -277,10 +154,10 @@ func runAll(w io.Writer, cfg ninjagap.Config) error {
 			return fmt.Errorf("%s: %w", cmd, err)
 		}
 		if cfg.Format == "json" {
-			entries = append(entries, entry{cmd, out.data})
+			entries = append(entries, entry{cmd, out.Data})
 			continue
 		}
-		if _, err := io.WriteString(w, out.text()); err != nil {
+		if _, err := io.WriteString(w, out.Text()); err != nil {
 			return err
 		}
 		if _, err := io.WriteString(w, "\n"); err != nil {
@@ -330,7 +207,7 @@ func runOne(cfg ninjagap.Config, machineName, version string, n int) (output, er
 		return output{}, err
 	}
 	return output{
-		text: func() string {
+		Text: func() string {
 			s := fmt.Sprintf("%s/%s on %s (n=%d, %d threads): %v\n",
 				b.Name(), v, m.Name, meas.N, meas.Threads, meas.Res)
 			if meas.Inst.Report != nil {
@@ -338,7 +215,7 @@ func runOne(cfg ninjagap.Config, machineName, version string, n int) (output, er
 			}
 			return s
 		},
-		data: report.BenchRecord{
+		Data: report.BenchRecord{
 			Bench: meas.Bench, Version: meas.Version.String(), Machine: meas.Machine,
 			N: meas.N, Threads: meas.Threads, Seconds: meas.Res.Seconds,
 			GFlops: meas.Res.GFlops, BoundBy: meas.Res.BoundBy,
@@ -365,7 +242,7 @@ func listOutput() output {
 		msNames = append(msNames, m.Name)
 	}
 	return output{
-		text: func() string {
+		Text: func() string {
 			var sb strings.Builder
 			sb.WriteString("benchmarks:\n")
 			for _, b := range bs {
@@ -381,7 +258,7 @@ func listOutput() output {
 			}
 			return sb.String()
 		},
-		data: struct {
+		Data: struct {
 			Benchmarks []benchInfo `json:"benchmarks"`
 			Versions   []string    `json:"versions"`
 			Machines   []string    `json:"machines"`

@@ -1,7 +1,6 @@
 package gap
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
@@ -68,7 +67,7 @@ func ladder(m *machine.Machine, cfg Config, vs ...kernels.Version) (*GapResult, 
 			cells = append(cells, Cell{Bench: b, Version: v, Machine: m, N: n})
 		}
 	}
-	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	ms, err := cfg.scheduler().Run(cfg.context(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +189,7 @@ func Fig3Breakdown(cfg Config) (*BreakdownResult, error) {
 			Cell{Bench: b, Version: kernels.Pragma, Machine: m, N: n},
 			Cell{Bench: b, Version: kernels.Ninja, Machine: m, N: n})
 	}
-	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	ms, err := cfg.scheduler().Run(cfg.context(), cells)
 	if err != nil {
 		return nil, err
 	}

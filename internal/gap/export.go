@@ -1,7 +1,6 @@
 package gap
 
 import (
-	"context"
 	"fmt"
 
 	"ninjagap/internal/kernels"
@@ -40,7 +39,7 @@ func BenchExport(cfg Config) (*report.Snapshot, error) {
 			}
 		}
 	}
-	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	ms, err := cfg.scheduler().Run(cfg.context(), cells)
 	if err != nil {
 		return nil, err
 	}

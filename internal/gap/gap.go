@@ -33,6 +33,28 @@ type Config struct {
 	// (default), "json", or "csv". The library renderers ignore it; the
 	// cmd/ninjagap output layer honors it.
 	Format string
+
+	// ctx bounds every scheduler run the experiment drivers perform; nil
+	// means context.Background(). Set it with WithContext — the
+	// measurement daemon uses it to plumb per-request deadlines through
+	// Scheduler.Run into cell execution.
+	ctx context.Context
+}
+
+// WithContext returns a copy of the Config whose experiment runs are
+// bounded by ctx: a deadline or cancellation abandons unstarted cells and
+// stops in-flight cells at their next phase boundary.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+// context resolves the configured run context.
+func (c Config) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 func (c Config) scale() float64 {
@@ -107,9 +129,18 @@ func (m *Measurement) Seconds() float64 { return m.Res.Seconds }
 // figures is measured exactly once (see Memo / ResetMemo).
 func Measure(b kernels.Benchmark, v kernels.Version, m *machine.Machine, n int, skipCheck bool) (*Measurement, error) {
 	c := Cell{Bench: b, Version: v, Machine: m, N: n}
-	return sharedMemo.do(c.key(skipCheck), func() (*Measurement, error) {
-		return measureCell(c, skipCheck)
+	ctx := context.Background()
+	return sharedMemo.do(ctx, c.key(skipCheck), func() (*Measurement, error) {
+		return measureCell(ctx, c, skipCheck)
 	})
+}
+
+// RunCells measures an explicit cell list through the configured
+// scheduler (process-wide memo cache, cfg's job bound and context). The
+// measurement daemon's /v1/measure endpoint uses it so ad-hoc cells share
+// the figures' cache and admission path.
+func RunCells(cfg Config, cells []Cell) ([]*Measurement, error) {
+	return cfg.scheduler().Run(cfg.context(), cells)
 }
 
 // MeasureVersions measures a set of versions of one benchmark at its
@@ -120,7 +151,7 @@ func MeasureVersions(b kernels.Benchmark, m *machine.Machine, cfg Config, vs ...
 	for i, v := range vs {
 		cells[i] = Cell{Bench: b, Version: v, Machine: m, N: n}
 	}
-	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	ms, err := cfg.scheduler().Run(cfg.context(), cells)
 	if err != nil {
 		return nil, err
 	}

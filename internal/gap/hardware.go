@@ -1,7 +1,6 @@
 package gap
 
 import (
-	"context"
 	"fmt"
 
 	"ninjagap/internal/kernels"
@@ -54,7 +53,7 @@ func Fig7Hardware(cfg Config) (*HWResult, error) {
 				Cell{Bench: b, Version: v, Machine: hw, N: n})
 		}
 	}
-	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	ms, err := cfg.scheduler().Run(cfg.context(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +114,7 @@ func Fig8Effort(cfg Config) (*EffortResult, error) {
 			cells = append(cells, Cell{Bench: b, Version: v, Machine: m, N: n})
 		}
 	}
-	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	ms, err := cfg.scheduler().Run(cfg.context(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +207,7 @@ func Ablate(cfg Config) (*AblationResult, error) {
 			Cell{Bench: stencil, Version: kernels.Algo, Machine: mc, N: sn, Threads: cores})
 	}
 
-	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	ms, err := cfg.scheduler().Run(cfg.context(), cells)
 	if err != nil {
 		return nil, err
 	}
@@ -278,7 +277,7 @@ func Table1Suite(cfg Config) (*report.Table, error) {
 			Cell{Bench: b, Version: kernels.Naive, Machine: m, N: n},
 			Cell{Bench: b, Version: kernels.Ninja, Machine: m, N: n})
 	}
-	ms, err := cfg.scheduler().Run(context.Background(), cells)
+	ms, err := cfg.scheduler().Run(cfg.context(), cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package gap
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -11,10 +13,11 @@ import (
 // cellKey identifies one measurement in the experiment grid. Two cells
 // with the same key are guaranteed to produce identical Measurements
 // (inputs are seeded, the simulator is deterministic), so the memo cache
-// may serve one for the other. The machine is fingerprinted by name plus
-// the fields the experiments mutate on clones (core count, feature set) —
-// WithCores/WithFeatures keep the preset name, so the name alone would
-// conflate e.g. the base Westmere with Fig 7's gather/FMA variant.
+// may serve one for the other. The machine is fingerprinted by a stable
+// hash of the complete model — clones keep the preset's name
+// (WithCores/WithFeatures/SetCost never rename), so the name alone would
+// conflate e.g. the base Westmere with Fig 7's gather/FMA variant or an
+// ablation's cost-table edit.
 type cellKey struct {
 	Bench      string
 	Version    string
@@ -25,9 +28,14 @@ type cellKey struct {
 	Skip       bool
 }
 
-// machineSig fingerprints a machine for memo keying.
+// machineSig fingerprints a machine for memo keying. The human-readable
+// prefix (name, cores, frequency) aids debugging; the trailing
+// Machine.Fingerprint hash covers everything else that can change a
+// measurement — SIMD/issue widths, cache geometry, memory parameters,
+// features and the full cost table — so SetCost-mutated or field-edited
+// clones never collide with their base preset.
 func machineSig(m *machine.Machine) string {
-	return fmt.Sprintf("%s|c%d|%.3g|%+v", m.Name, m.Cores, m.FreqGHz, m.Feat)
+	return fmt.Sprintf("%s|c%d|%.3g|%016x", m.Name, m.Cores, m.FreqGHz, m.Fingerprint())
 }
 
 // memoEntry is one cache slot. The sync.Once gives singleflight
@@ -54,23 +62,47 @@ func NewMemo() *Memo {
 }
 
 // do returns the memoized measurement for key, computing it with f on
-// first request. Errors are cached too: a failing cell fails every figure
-// that needs it, identically.
-func (mo *Memo) do(key cellKey, f func() (*Measurement, error)) (*Measurement, error) {
-	mo.mu.Lock()
-	e, ok := mo.entries[key]
-	if !ok {
-		e = &memoEntry{}
-		mo.entries[key] = e
+// first request. Real errors are cached too: a failing cell fails every
+// figure that needs it, identically. Context errors are NOT cached — a
+// cell abandoned because one request's deadline fired must not poison the
+// cache for every later request — so an entry whose computation ended in
+// cancellation is dropped, and waiters that coalesced onto it retry with
+// a fresh entry (unless their own ctx is also done).
+func (mo *Memo) do(ctx context.Context, key cellKey, f func() (*Measurement, error)) (*Measurement, error) {
+	for {
+		mo.mu.Lock()
+		e, ok := mo.entries[key]
+		if !ok {
+			e = &memoEntry{}
+			mo.entries[key] = e
+		}
+		mo.mu.Unlock()
+		if ok {
+			mo.hits.Add(1)
+		} else {
+			mo.misses.Add(1)
+		}
+		e.once.Do(func() { e.meas, e.err = f() })
+		if e.err == nil || !isContextErr(e.err) {
+			return e.meas, e.err
+		}
+		// Cancelled computation: evict the poisoned entry (if it is still
+		// the current one) so the cell can be re-measured.
+		mo.mu.Lock()
+		if mo.entries[key] == e {
+			delete(mo.entries, key)
+		}
+		mo.mu.Unlock()
+		if ctx.Err() != nil {
+			return nil, e.err
+		}
 	}
-	mo.mu.Unlock()
-	if ok {
-		mo.hits.Add(1)
-	} else {
-		mo.misses.Add(1)
-	}
-	e.once.Do(func() { e.meas, e.err = f() })
-	return e.meas, e.err
+}
+
+// isContextErr reports whether err is (or wraps) a context cancellation
+// or deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Stats reports cache traffic: hits are requests served from (or coalesced
@@ -102,3 +134,7 @@ func ResetMemo() {
 
 // MemoStats exposes the process-wide cache statistics (hits, misses).
 func MemoStats() (hits, misses int64) { return sharedMemo.Stats() }
+
+// MemoLen exposes the process-wide cache size (number of cached cells);
+// the measurement daemon's /metrics endpoint reports it.
+func MemoLen() int { return sharedMemo.Len() }

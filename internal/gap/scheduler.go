@@ -60,10 +60,19 @@ func (c Cell) threads() int {
 }
 
 // measureCell prepares, runs and validates one cell. It is the single
-// execution path behind Measure and the Scheduler.
-func measureCell(c Cell, skipCheck bool) (*Measurement, error) {
+// execution path behind Measure and the Scheduler. ctx bounds the work:
+// cancellation is honored between the cell's phases (prepare, execute,
+// validate), so a request deadline abandons a cell at the next phase
+// boundary rather than simulating to completion.
+func measureCell(ctx context.Context, c Cell, skipCheck bool) (*Measurement, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	inst, err := c.Bench.Prepare(c.Version, c.Machine, c.N)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	threads := c.threads()
@@ -71,6 +80,9 @@ func measureCell(c Cell, skipCheck bool) (*Measurement, error) {
 		exec.Options{Threads: threads, DisablePrefetch: c.DisablePrefetch})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s on %s: %w", c.Bench.Name(), c.Version, c.Machine.Name, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if !skipCheck {
 		if err := inst.Check(); err != nil {
@@ -125,10 +137,10 @@ func (s *Scheduler) workers(n int) int {
 	return w
 }
 
-// measure runs one cell through the memo cache.
-func (s *Scheduler) measure(c Cell) (*Measurement, error) {
-	return s.memo.do(c.key(s.skipCheck), func() (*Measurement, error) {
-		return measureCell(c, s.skipCheck)
+// measure runs one cell through the memo cache under ctx.
+func (s *Scheduler) measure(ctx context.Context, c Cell) (*Measurement, error) {
+	return s.memo.do(ctx, c.key(s.skipCheck), func() (*Measurement, error) {
+		return measureCell(ctx, c, s.skipCheck)
 	})
 }
 
@@ -157,10 +169,10 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) ([]*Measurement, erro
 			defer wg.Done()
 			for i := range idx {
 				if ctx.Err() != nil {
-					errs[i] = ctx.Err()
+					errs[i] = context.Cause(ctx)
 					continue
 				}
-				m, err := s.measure(cells[i])
+				m, err := s.measure(ctx, cells[i])
 				if err != nil {
 					errs[i] = err
 					cancel()
@@ -180,23 +192,35 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) ([]*Measurement, erro
 				feeding = false
 			}
 		}
-		// Unfed cells were never handed to a worker; mark them cancelled
-		// so the error scan below sees the whole batch accounted for.
-		errs[i] = ctx.Err()
+		// Unfed cells were never handed to a worker; mark them with the
+		// cancellation cause so the error scan below sees the whole batch
+		// accounted for.
+		errs[i] = context.Cause(ctx)
 	}
 	close(idx)
 	wg.Wait()
 
 	// Deterministic error reporting: the lowest-index real failure wins
-	// over cancellations it caused.
+	// over the cancellations it caused. Cancellation is classified with
+	// errors.Is, not pointer equality — cells return wrapped context
+	// errors (e.g. via the memo or a deadline inside measureCell), and
+	// those must not be misreported as real failures.
 	var cancelled error
 	for i, err := range errs {
 		if err == nil {
 			continue
 		}
-		if err == context.Canceled && ctx.Err() == context.Canceled {
+		if isContextErr(err) && ctx.Err() != nil {
 			if cancelled == nil {
-				cancelled = fmt.Errorf("cell %d cancelled: %w", i, err)
+				// Prefer the batch's cancellation cause (the parent's
+				// deadline or cancel cause) so callers can classify the
+				// failure — errors.Is(err, context.DeadlineExceeded)
+				// works through the wrap.
+				cause := context.Cause(ctx)
+				if cause == nil {
+					cause = err
+				}
+				cancelled = fmt.Errorf("cell %d cancelled: %w", i, cause)
 			}
 			continue
 		}

@@ -11,6 +11,7 @@ package machine
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 )
 
@@ -179,15 +180,14 @@ func (m *Machine) smt() int {
 	return m.Feat.SMT
 }
 
-// PeakGFlopsF32 returns the peak single-precision GFLOP/s assuming one add
-// and one mul (or one FMA counted as two) per cycle per core, times SIMD.
-// It is the roofline compute ceiling the paper compares against.
+// PeakGFlopsF32 returns the peak single-precision GFLOP/s. Both pipe
+// organizations the suite models peak at two flops per lane per cycle:
+// non-FMA parts issue one add and one mul per cycle (2 flops x width),
+// FMA parts issue one FMA per cycle (also 2 flops x width) — so the peak
+// does not branch on Features.FMA. It is the roofline compute ceiling the
+// paper compares against.
 func (m *Machine) PeakGFlopsF32() float64 {
-	flopsPerCycle := 2.0 * float64(m.VecWidthF32) // add + mul pipes
-	if m.Feat.FMA {
-		flopsPerCycle = 2.0 * float64(m.VecWidthF32) // one FMA/cycle = 2 flops
-	}
-	return flopsPerCycle * m.FreqGHz * float64(m.Cores)
+	return 2.0 * float64(m.VecWidthF32) * m.FreqGHz * float64(m.Cores)
 }
 
 // LLC returns the last (shared) cache level, or the last level if none is
@@ -246,6 +246,27 @@ func (m *Machine) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a stable hash of the complete model: every field
+// that can change a measurement, including the cost table, cache geometry,
+// memory parameters, SIMD/issue widths and features. Clones mutated via
+// SetCost or direct field edits therefore fingerprint differently from
+// their preset even though they keep its name — the experiment memo cache
+// keys on this.
+func (m *Machine) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%g|%d|%d|%d|%g",
+		m.Name, m.Year, m.Cores, m.FreqGHz,
+		m.VecWidthF32, m.VecWidthF64, m.IssueWidth, m.BranchMissPenalty)
+	fmt.Fprintf(h, "|%+v|%+v", m.Mem, m.Feat)
+	for _, c := range m.Caches {
+		fmt.Fprintf(h, "|%+v", c)
+	}
+	for c := OpClass(0); c < numOpClasses; c++ {
+		fmt.Fprintf(h, "|%+v", m.costs[c])
+	}
+	return h.Sum64()
 }
 
 // Clone returns a deep copy, so ablations can mutate without affecting the

@@ -50,6 +50,77 @@ func TestPeakGFlops(t *testing.T) {
 	}
 }
 
+// TestPeakGFlopsPinned pins cores x freq x width x 2 for every preset, so
+// a cost-model or preset edit that moves the roofline ceiling is caught.
+// FMA and non-FMA parts use the same formula: one FMA per cycle counts the
+// same two flops per lane as the add+mul pipe pair.
+func TestPeakGFlopsPinned(t *testing.T) {
+	want := map[string]float64{
+		"Core2Quad":     2 * 4 * 2.66 * 4,  // 85.12
+		"NehalemI7":     2 * 4 * 3.2 * 4,   // 102.4
+		"WestmereX980":  2 * 4 * 3.33 * 6,  // 159.84
+		"KnightsFerry":  2 * 16 * 1.2 * 32, // 1228.8
+		"FutureWide":    2 * 8 * 3.0 * 16,  // 768
+	}
+	for _, m := range All() {
+		w, ok := want[m.Name]
+		if !ok {
+			t.Errorf("no pinned peak for preset %s — extend the table", m.Name)
+			continue
+		}
+		if got := m.PeakGFlopsF32(); got != w {
+			t.Errorf("%s peak = %g GF/s, want %g", m.Name, got, w)
+		}
+	}
+}
+
+// TestFingerprint checks that the full-model hash distinguishes clones
+// mutated through every channel the ablations use, and is stable for
+// unmutated clones.
+func TestFingerprint(t *testing.T) {
+	base := WestmereX980()
+	if got := base.Clone().Fingerprint(); got != base.Fingerprint() {
+		t.Error("unmutated clone fingerprints differently from its preset")
+	}
+	if got := WestmereX980().Fingerprint(); got != base.Fingerprint() {
+		t.Error("fingerprint not stable across preset constructions")
+	}
+	muts := []struct {
+		name string
+		mut  func(*Machine)
+	}{
+		{"cost table", func(m *Machine) {
+			c := m.Cost(OpGatherElem)
+			c.RecipTput *= 2
+			m.SetCost(OpGatherElem, c)
+		}},
+		{"SIMD width", func(m *Machine) { m.VecWidthF32 = 8 }},
+		{"issue width", func(m *Machine) { m.IssueWidth = 2 }},
+		{"cache geometry", func(m *Machine) { m.Caches[0].SizeBytes = 64 << 10 }},
+		{"memory bandwidth", func(m *Machine) { m.Mem.BandwidthGBps = 12 }},
+		{"memory MLP", func(m *Machine) { m.Mem.MLP = 4 }},
+		{"features", func(m *Machine) { m.Feat.HWGather = true }},
+		{"cores", func(m *Machine) { m.Cores = 2 }},
+		{"frequency", func(m *Machine) { m.FreqGHz = 2.0 }},
+		{"branch penalty", func(m *Machine) { m.BranchMissPenalty = 30 }},
+	}
+	for _, tc := range muts {
+		c := base.Clone()
+		tc.mut(c)
+		if c.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s mutation did not change the fingerprint", tc.name)
+		}
+	}
+	// Presets must all be distinct.
+	seen := map[uint64]string{}
+	for _, m := range All() {
+		if prev, ok := seen[m.Fingerprint()]; ok {
+			t.Errorf("presets %s and %s share a fingerprint", prev, m.Name)
+		}
+		seen[m.Fingerprint()] = m.Name
+	}
+}
+
 func TestLanes(t *testing.T) {
 	w := WestmereX980()
 	if w.Lanes(4) != 4 || w.Lanes(8) != 2 {

@@ -121,12 +121,31 @@ type Memo = gap.Memo
 // NewMemo / NewScheduler build private caches and pools; ResetMemo clears
 // the process-wide cache (the benchmark harness uses it so memoization
 // does not turn repeated figure regenerations into lookups); MemoStats
-// reports process-wide cache traffic.
+// reports process-wide cache traffic and MemoLen its size.
 var (
 	NewMemo      = gap.NewMemo
 	NewScheduler = gap.NewScheduler
 	ResetMemo    = gap.ResetMemo
 	MemoStats    = gap.MemoStats
+	MemoLen      = gap.MemoLen
+)
+
+// Output is a driver's renderable output (text, JSON data, optional CSV);
+// Dispatch runs any experiment driver by ID ("table1", "fig1".."fig8",
+// "ablate", "bench-export") and DriverIDs lists them in `all` order.
+// cmd/ninjagap and the ninjagapd daemon both render through this layer,
+// so their encodings are byte-identical.
+type Output = gap.Output
+
+// CompilerFigure is fig4's payload (ladder + vectorization diagnostics).
+type CompilerFigure = gap.CompilerFigure
+
+var (
+	Dispatch  = gap.Dispatch
+	DriverIDs = gap.DriverIDs
+	// RunCells measures an explicit cell list through the configured
+	// scheduler and the process-wide memo cache.
+	RunCells = gap.RunCells
 )
 
 // Run prepares, executes, and functionally validates one benchmark version
