@@ -159,6 +159,45 @@ func BenchmarkAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkEngine times the execution engine alone, one sub-benchmark
+// per benchmark x version on the Westmere. Preparation is outside the
+// timed region (executions mutate instance arrays in place, so each
+// iteration needs a fresh instance; generated inputs are memoized per
+// size, so the re-prepare is cheap) and validation is skipped — what
+// remains is exactly the engine hot path the pre-binding, L1 fast path
+// and pooling work targets. `go test -bench=Engine` sweeps the grid.
+func BenchmarkEngine(b *testing.B) {
+	m := WestmereX980()
+	for _, k := range Benchmarks() {
+		for _, v := range Versions() {
+			k, v := k, v
+			b.Run(k.Name()+"/"+v.String(), func(b *testing.B) {
+				n := gap.LegalN(k, int(float64(k.DefaultN())*benchScale))
+				threads := m.HWThreads()
+				if v.Serial() {
+					threads = 1
+				}
+				var instrs uint64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					inst, err := k.Prepare(v, m, n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					res, err := Execute(inst, m, Options{Threads: threads})
+					if err != nil {
+						b.Fatal(err)
+					}
+					instrs = res.DynInstrs
+				}
+				b.ReportMetric(float64(instrs), "sim-instrs")
+			})
+		}
+	}
+}
+
 // Per-kernel engine benchmarks: simulated naive and ninja runs of each
 // suite member on the Westmere, for profiling the simulator itself.
 func BenchmarkKernelNaive(b *testing.B) {

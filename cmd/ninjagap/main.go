@@ -15,12 +15,16 @@
 //	ablate                     design ablations (prefetch, SMT, scaling)
 //	all                        every table and figure in order
 //	bench-export               write a BENCH_results.json perf snapshot
+//	engine-bench               bench-export plus simulator wall-clock timings
 //	run -bench B -version V    one measured run
 //	list                       benchmarks, versions, machines
 //
 // Flags:
 //
-//	-scale F     problem-size multiplier (default 1.0; use 0.1 for quick runs)
+//	-scale S     problem-size multiplier: a number or a named preset
+//	             (smoke=0.05, small=0.1, medium=0.5, full=1; default 1)
+//	-cpuprofile FILE  write a CPU profile of the whole run
+//	-memprofile FILE  write a heap profile at exit
 //	-bench list  comma-separated benchmark subset
 //	-jobs N      scheduler worker-pool bound (0 = GOMAXPROCS, 1 = serial)
 //	-json        emit JSON instead of text (shorthand for -format json)
@@ -37,6 +41,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ninjagap"
@@ -50,7 +56,7 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	scale := fs.Float64("scale", 1.0, "problem-size multiplier")
+	scaleArg := fs.String("scale", "1", "problem-size multiplier (number or smoke|small|medium|full)")
 	benches := fs.String("bench", "", "comma-separated benchmark subset")
 	jobs := fs.Int("jobs", 0, "scheduler worker-pool bound (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit JSON (shorthand for -format json)")
@@ -59,11 +65,47 @@ func main() {
 	machineName := fs.String("machine", "WestmereX980", "machine for `run`")
 	version := fs.String("version", "naive", "version for `run`")
 	n := fs.Int("n", 0, "problem size for `run` (0 = evaluation size)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to `file`")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	scale, err := ninjagap.ParseScale(*scaleArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ninjagap:", err)
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ninjagap:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ninjagap:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ninjagap:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ninjagap:", err)
+			}
+		}()
+	}
 
-	cfg := ninjagap.Config{Scale: *scale, Jobs: *jobs}
+	cfg := ninjagap.Config{Scale: scale, Jobs: *jobs}
 	if *benches != "" {
 		cfg.Benches = strings.Split(*benches, ",")
 	}
@@ -82,7 +124,7 @@ func main() {
 }
 
 func run(cmd string, cfg ninjagap.Config, outFile, machineName, version string, n int) error {
-	if cmd == "bench-export" && outFile == "" {
+	if (cmd == "bench-export" || cmd == "engine-bench") && outFile == "" {
 		outFile = "BENCH_results.json"
 	}
 	w := io.Writer(os.Stdout)
@@ -269,7 +311,8 @@ func listOutput() output {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ninjagap <command> [flags]
 commands: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablate all
-          bench-export run list
-flags:    -scale F  -bench a,b,c  -jobs N  -json  -format text|json|csv
-          -out FILE  -machine M  -version V  -n N`)
+          bench-export engine-bench run list
+flags:    -scale F|smoke|small|medium|full  -bench a,b,c  -jobs N  -json
+          -format text|json|csv  -out FILE  -machine M  -version V  -n N
+          -cpuprofile FILE  -memprofile FILE`)
 }

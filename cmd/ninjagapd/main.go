@@ -25,7 +25,10 @@
 // Flags:
 //
 //	-addr :8321        listen address
-//	-scale F           default problem-size multiplier (1.0)
+//	-scale S           default problem-size multiplier: a number or a
+//	                   named preset (smoke|small|medium|full; default 1)
+//	-pprof ADDR        serve net/http/pprof on ADDR (off by default; the
+//	                   debug surface gets its own listener)
 //	-jobs N            per-run scheduler worker bound (0 = GOMAXPROCS)
 //	-bench a,b,c       default benchmark subset (all when empty)
 //	-max-inflight N    concurrent experiment runs admitted (2)
@@ -46,28 +49,53 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"ninjagap/internal/gap"
 	"ninjagap/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8321", "listen address")
-	scale := flag.Float64("scale", 1.0, "default problem-size multiplier")
+	scaleArg := flag.String("scale", "1", "default problem-size multiplier (number or smoke|small|medium|full)")
 	jobs := flag.Int("jobs", 0, "per-run scheduler worker bound (0 = GOMAXPROCS)")
 	benches := flag.String("bench", "", "default comma-separated benchmark subset")
 	maxInFlight := flag.Int("max-inflight", 2, "concurrent experiment runs admitted")
 	maxQueue := flag.Int("max-queue", 8, "waiting requests beyond -max-inflight before 503")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request measurement deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
 	flag.Parse()
+	scale, err := gap.ParseScale(*scaleArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ninjagapd:", err)
+		os.Exit(2)
+	}
+
+	// Opt-in profiling endpoint, on its own listener so the debug surface
+	// never shares a port with the measurement API.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "ninjagapd: pprof on %s\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "ninjagapd: pprof:", err)
+			}
+		}()
+	}
 
 	cfg := serve.Config{
-		Scale:          *scale,
+		Scale:          scale,
 		Jobs:           *jobs,
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
@@ -88,7 +116,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "ninjagapd: listening on %s (scale %g, %d in-flight, %d queued, %v timeout)\n",
-		*addr, *scale, *maxInFlight, *maxQueue, *timeout)
+		*addr, scale, *maxInFlight, *maxQueue, *timeout)
 
 	select {
 	case err := <-errc:

@@ -50,17 +50,23 @@ type Result struct {
 
 type line struct {
 	tag      uint64
-	valid    bool
+	gen      uint64 // line is valid iff gen equals the level's generation
 	dirty    bool
 	lastUse  uint64 // LRU clock
 	prefetch bool   // filled by prefetcher, not yet demanded
 }
 
 type level struct {
-	cfg      machine.CacheLevel
-	sets     [][]line
+	cfg machine.CacheLevel
+	// lines holds every set contiguously (set s occupies
+	// lines[s*assoc : (s+1)*assoc]): one allocation, and a probe touches
+	// adjacent memory instead of chasing a per-set slice header.
+	lines    []line
+	assoc    int
 	setMask  uint64
 	offBits  uint
+	tagShift uint   // bits.Len64(setMask), precomputed
+	gen      uint64 // current generation; bumping it invalidates every line
 	clock    uint64
 	stats    LevelStats
 	latency  float64
@@ -92,31 +98,46 @@ func newLevel(cfg machine.CacheLevel) *level {
 		// caught degenerate configs already.
 		numSets = 1 << uint(bits.Len(uint(numSets))-1)
 	}
-	sets := make([][]line, numSets)
-	for i := range sets {
-		sets[i] = make([]line, cfg.Assoc)
-	}
-	return &level{
+	l := &level{
 		cfg:     cfg,
-		sets:    sets,
+		lines:   make([]line, numSets*cfg.Assoc),
+		assoc:   cfg.Assoc,
 		setMask: uint64(numSets - 1),
 		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		latency: cfg.Latency,
+		gen:     1, // so zero-valued lines start invalid
 	}
+	l.tagShift = uint(bits.Len64(l.setMask))
+	return l
+}
+
+// reset invalidates every line and zeroes the counters in O(1): lines are
+// valid only while their generation matches the level's, so bumping the
+// level generation cold-starts the cache without touching the sets.
+func (l *level) reset() {
+	l.gen++
+	l.clock = 0
+	l.stats = LevelStats{}
 }
 
 func (l *level) index(addr uint64) (set uint64, tag uint64) {
 	lineAddr := addr >> l.offBits
-	return lineAddr & l.setMask, lineAddr >> bits.Len64(l.setMask)
+	return lineAddr & l.setMask, lineAddr >> l.tagShift
+}
+
+// ways returns one set's lines.
+func (l *level) ways(set uint64) []line {
+	base := set * uint64(l.assoc)
+	return l.lines[base : base+uint64(l.assoc)]
 }
 
 // lookup probes the level. On hit it refreshes LRU and returns the line.
 func (l *level) lookup(addr uint64, demand bool) (hit bool, wasPrefetch bool) {
 	set, tag := l.index(addr)
 	l.clock++
-	ways := l.sets[set]
+	ways := l.ways(set)
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].gen == l.gen && ways[i].tag == tag {
 			ways[i].lastUse = l.clock
 			wasPrefetch = ways[i].prefetch
 			if demand {
@@ -133,10 +154,10 @@ func (l *level) lookup(addr uint64, demand bool) (hit bool, wasPrefetch bool) {
 func (l *level) fill(addr uint64, dirty, prefetch bool) (evictedDirty bool, evictedAddr uint64) {
 	set, tag := l.index(addr)
 	l.clock++
-	ways := l.sets[set]
+	ways := l.ways(set)
 	victim := 0
 	for i := range ways {
-		if !ways[i].valid {
+		if ways[i].gen != l.gen {
 			victim = i
 			break
 		}
@@ -145,20 +166,20 @@ func (l *level) fill(addr uint64, dirty, prefetch bool) (evictedDirty bool, evic
 		}
 	}
 	v := &ways[victim]
-	if v.valid && v.dirty {
+	if v.gen == l.gen && v.dirty {
 		evictedDirty = true
-		evictedAddr = ((v.tag << bits.Len64(l.setMask)) | set) << l.offBits
+		evictedAddr = ((v.tag << l.tagShift) | set) << l.offBits
 	}
-	*v = line{tag: tag, valid: true, dirty: dirty, lastUse: l.clock, prefetch: prefetch}
+	*v = line{tag: tag, gen: l.gen, dirty: dirty, lastUse: l.clock, prefetch: prefetch}
 	return evictedDirty, evictedAddr
 }
 
 // markDirty sets the dirty bit on a resident line (store hit).
 func (l *level) markDirty(addr uint64) {
 	set, tag := l.index(addr)
-	ways := l.sets[set]
+	ways := l.ways(set)
 	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+		if ways[i].gen == l.gen && ways[i].tag == tag {
 			ways[i].dirty = true
 			return
 		}
@@ -227,11 +248,60 @@ func (h *Hierarchy) Stats() []LevelStats {
 	return out
 }
 
+// Reset cold-starts the hierarchy for reuse: every level is invalidated
+// via its generation counter (O(1), no set scans), statistics and DRAM
+// traffic are zeroed, and the prefetcher forgets its streams. A reset
+// hierarchy is indistinguishable from a freshly built one.
+func (h *Hierarchy) Reset() {
+	for _, l := range h.levels {
+		l.reset()
+	}
+	h.dramBytes = 0
+	if h.pf != nil {
+		h.pf.reset()
+	}
+}
+
 // Access simulates one demand access to addr covering size bytes (the
 // engine splits vector accesses into per-line calls, so size never crosses
 // a line). write selects store semantics (write-allocate, write-back).
+//
+// The common case — an L1 hit — is inlined here as a fast path: one set
+// probe, an LRU timestamp refresh, and the exact same counter updates the
+// general walk performs (one clock tick, one access, one hit), so the
+// statistics and replacement state stay bit-identical to the slow path.
 func (h *Hierarchy) Access(addr uint64, write bool) Result {
-	res := h.access(addr, write, true)
+	var res Result
+	l0 := h.levels[0]
+	lineAddr := addr >> l0.offBits
+	set, tag := lineAddr&l0.setMask, lineAddr>>l0.tagShift
+	l0.stats.Accesses++
+	l0.clock++
+	hit := false
+	ways := l0.ways(set)
+	for i := range ways {
+		if ways[i].gen == l0.gen && ways[i].tag == tag {
+			ways[i].lastUse = l0.clock
+			if ways[i].prefetch {
+				ways[i].prefetch = false // first demand touch claims the line
+				l0.stats.PrefetchHits++
+				res.PrefetchHit = true
+			}
+			if write {
+				ways[i].dirty = true
+			}
+			hit = true
+			break
+		}
+	}
+	if hit {
+		l0.stats.Hits++
+		res.Level = L1
+		res.Latency = l0.latency
+	} else {
+		l0.stats.Misses++
+		res = h.accessFrom(1, addr, write)
+	}
 	if h.pf != nil {
 		for _, pa := range h.pf.observe(addr) {
 			h.prefetchFill(pa)
@@ -240,11 +310,66 @@ func (h *Hierarchy) Access(addr uint64, write bool) Result {
 	return res
 }
 
-func (h *Hierarchy) access(addr uint64, write, demand bool) Result {
+// AccessCost is the engine-facing fast path: identical simulation side
+// effects to Access, but it returns only the serving level and its latency
+// (two register-sized values instead of a Result struct), and it skips the
+// prefetcher table entirely for repeated touches of the stream's current
+// line — which by construction teach the prefetcher nothing.
+func (h *Hierarchy) AccessCost(addr uint64, write bool) (Level, float64) {
+	l0 := h.levels[0]
+	lineAddr := addr >> l0.offBits
+	set, tag := lineAddr&l0.setMask, lineAddr>>l0.tagShift
+	l0.stats.Accesses++
+	l0.clock++
+	hit := false
+	ways := l0.ways(set)
+	for i := range ways {
+		if ways[i].gen == l0.gen && ways[i].tag == tag {
+			ways[i].lastUse = l0.clock
+			if ways[i].prefetch {
+				ways[i].prefetch = false
+				l0.stats.PrefetchHits++
+			}
+			if write {
+				ways[i].dirty = true
+			}
+			hit = true
+			break
+		}
+	}
+	var lvl Level
+	var lat float64
+	if hit {
+		l0.stats.Hits++
+		lvl, lat = L1, l0.latency
+	} else {
+		l0.stats.Misses++
+		r := h.accessFrom(1, addr, write)
+		lvl, lat = r.Level, r.Latency
+	}
+	if pf := h.pf; pf != nil {
+		if s := pf.cachedStream(addr >> 12); s != nil && pf.lineShift != 0 &&
+			addr>>pf.lineShift == s.lastLine {
+			// Same page, same line as the last observation: observe()
+			// would compute a zero delta and return without touching any
+			// state, so skip the call.
+		} else {
+			for _, pa := range pf.observe(addr) {
+				h.prefetchFill(pa)
+			}
+		}
+	}
+	return lvl, lat
+}
+
+// accessFrom walks the hierarchy from level index `from` after the levels
+// above it missed; it fills every upper level on the way back.
+func (h *Hierarchy) accessFrom(from int, addr uint64, write bool) Result {
 	var res Result
-	for i, l := range h.levels {
+	for i := from; i < len(h.levels); i++ {
+		l := h.levels[i]
 		l.stats.Accesses++
-		hit, wasPF := l.lookup(addr, demand)
+		hit, wasPF := l.lookup(addr, true)
 		if hit {
 			l.stats.Hits++
 			if wasPF {

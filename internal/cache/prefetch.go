@@ -1,5 +1,7 @@
 package cache
 
+import "math/bits"
+
 // prefetcher is a table-based stride prefetcher in the style of the L1/L2
 // streamers on the modeled parts: it tracks access streams per 4 KiB page,
 // detects a constant line-granular stride after two confirmations, and then
@@ -10,7 +12,20 @@ type prefetcher struct {
 	entries   map[uint64]*stream // keyed by page number
 	order     []uint64           // FIFO of pages for capacity eviction
 	capacity  int
+
+	// Hot-path caches: demand streams stay on a handful of pages (one per
+	// live array) for many accesses, so a small direct-mapped cache of
+	// recently resolved streams short-circuits the map lookup even when a
+	// kernel interleaves touches to several arrays; buf is the reused
+	// output slice (consumed before the next observe call).
+	lastPages   [streamSlots]uint64
+	lastStreams [streamSlots]*stream
+	buf         []uint64
+	lineShift   uint // log2(lineBytes) when a power of two (>1), else 0
 }
+
+// streamSlots sizes the resolved-stream cache (must be a power of two).
+const streamSlots = 4
 
 type stream struct {
 	lastLine  uint64
@@ -19,28 +34,74 @@ type stream struct {
 }
 
 func newPrefetcher(degree, lineBytes int) *prefetcher {
-	return &prefetcher{
+	p := &prefetcher{
 		degree:    degree,
 		lineBytes: uint64(lineBytes),
 		entries:   make(map[uint64]*stream),
 		capacity:  32, // tracker entries, like real streamers
+		buf:       make([]uint64, 0, degree),
 	}
+	if lb := uint64(lineBytes); lb > 1 && lb&(lb-1) == 0 {
+		p.lineShift = uint(bits.TrailingZeros64(lb))
+	}
+	return p
+}
+
+// reset forgets all streams (used when a pooled hierarchy is recycled).
+func (p *prefetcher) reset() {
+	clear(p.entries)
+	p.order = p.order[:0]
+	p.lastStreams = [streamSlots]*stream{}
+}
+
+// cachedStream returns the resolved stream for a page if it is in the
+// direct-mapped cache, else nil.
+func (p *prefetcher) cachedStream(page uint64) *stream {
+	slot := page & (streamSlots - 1)
+	if s := p.lastStreams[slot]; s != nil && p.lastPages[slot] == page {
+		return s
+	}
+	return nil
+}
+
+// cacheStream records a resolved stream in the direct-mapped cache.
+func (p *prefetcher) cacheStream(page uint64, s *stream) {
+	slot := page & (streamSlots - 1)
+	p.lastPages[slot], p.lastStreams[slot] = page, s
 }
 
 // observe records a demand access and returns the addresses to prefetch.
+// The returned slice is reused by the next call.
 func (p *prefetcher) observe(addr uint64) []uint64 {
 	page := addr >> 12
-	lineAddr := addr / p.lineBytes
-	s, ok := p.entries[page]
-	if !ok {
-		if len(p.entries) >= p.capacity {
-			oldest := p.order[0]
-			p.order = p.order[1:]
-			delete(p.entries, oldest)
+	var lineAddr uint64
+	if p.lineShift != 0 {
+		lineAddr = addr >> p.lineShift
+	} else {
+		lineAddr = addr / p.lineBytes
+	}
+	s := p.cachedStream(page)
+	if s == nil {
+		if e, ok := p.entries[page]; ok {
+			s = e
+			p.cacheStream(page, s)
+		} else {
+			if len(p.entries) >= p.capacity {
+				oldest := p.order[0]
+				n := copy(p.order, p.order[1:])
+				p.order = p.order[:n]
+				delete(p.entries, oldest)
+				slot := oldest & (streamSlots - 1)
+				if p.lastStreams[slot] != nil && p.lastPages[slot] == oldest {
+					p.lastStreams[slot] = nil
+				}
+			}
+			s = &stream{lastLine: lineAddr}
+			p.entries[page] = s
+			p.order = append(p.order, page)
+			p.cacheStream(page, s)
+			return nil
 		}
-		p.entries[page] = &stream{lastLine: lineAddr}
-		p.order = append(p.order, page)
-		return nil
 	}
 	d := int64(lineAddr) - int64(s.lastLine)
 	s.lastLine = lineAddr
@@ -61,7 +122,7 @@ func (p *prefetcher) observe(addr uint64) []uint64 {
 	}
 	// Confirmed stream: prefetch degree lines ahead. Real streamers stop
 	// at page boundaries; we mirror that.
-	out := make([]uint64, 0, p.degree)
+	out := p.buf[:0]
 	for i := 1; i <= p.degree; i++ {
 		next := int64(lineAddr) + int64(i)*s.stride
 		if next < 0 {
@@ -73,5 +134,6 @@ func (p *prefetcher) observe(addr uint64) []uint64 {
 		}
 		out = append(out, na)
 	}
+	p.buf = out
 	return out
 }

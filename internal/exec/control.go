@@ -3,62 +3,59 @@ package exec
 import (
 	"fmt"
 
-	"ninjagap/internal/machine"
 	"ninjagap/internal/vm"
 )
 
 // tripCount resolves a loop's trip count.
-func (t *threadCtx) tripCount(in *vm.Instr) int64 {
-	if in.CountReg >= 0 {
-		return int64(t.lane(in.CountReg)[0])
+func (t *threadCtx) tripCount(bi *bInstr) int64 {
+	if bi.countReg >= 0 {
+		return int64(t.regs[bi.countReg])
 	}
-	return in.Count
+	return bi.count
 }
 
-// setInduction writes the scalar induction value into every lane of reg so
-// both scalar address math and broadcast-style vector uses see it.
-func (t *threadCtx) setInduction(reg int, v float64) {
-	d := t.lane(reg)
+// setInduction writes the scalar induction value into every lane of the
+// destination (given as a register-file offset) so both scalar address math
+// and broadcast-style vector uses see it.
+func (t *threadCtx) setInduction(off int, v float64) {
+	d := t.reg(off)
 	for l := 0; l < vm.MaxLanes; l++ {
 		d[l] = v
 	}
 }
 
 // loop runs a (sequential view of a) loop over [lo, lo+n).
-func (t *threadCtx) loop(in *vm.Instr) {
-	n := t.tripCount(in)
-	t.loopRange(in, in.Lo, in.Lo+n)
+func (t *threadCtx) loop(bi *bInstr) {
+	n := t.tripCount(bi)
+	t.loopRange(bi, bi.lo, bi.lo+n)
 }
 
 // loopRange runs the iterations [lo, hi) of a loop instruction; the engine
 // calls it directly with per-thread subranges for parallel loops.
-func (t *threadCtx) loopRange(in *vm.Instr, lo, hi int64) {
-	unroll := in.Unroll
-	if unroll < 1 {
-		unroll = 1
-	}
-	if in.Vec {
-		t.vecLoopRange(in, lo, hi, unroll)
+func (t *threadCtx) loopRange(bi *bInstr, lo, hi int64) {
+	unroll := int64(bi.unroll)
+	if bi.vec {
+		t.vecLoopRange(bi, lo, hi, bi.unroll)
 		return
 	}
 	for i := lo; i < hi; i++ {
 		if t.err != nil {
 			return
 		}
-		t.setInduction(in.Dst, float64(i))
-		if (i-lo)%int64(unroll) == 0 {
-			t.charge(machine.OpIntALU, 1) // induction update
-			t.charge(machine.OpBranch, 1) // back-edge (predicted)
+		t.setInduction(bi.dst, float64(i))
+		if (i-lo)%unroll == 0 {
+			t.cost.add(bi.ch)  // induction update
+			t.cost.add(bi.chB) // back-edge (predicted)
 		}
-		t.exec(in.Body)
+		t.exec(bi.body)
 	}
 }
 
 // vecLoopRange runs a vector loop: induction lane l = base + l, stepping by
 // W, with a masked tail.
-func (t *threadCtx) vecLoopRange(in *vm.Instr, lo, hi int64, unroll int) {
+func (t *threadCtx) vecLoopRange(bi *bInstr, lo, hi int64, unroll int) {
 	W := int64(t.e.W)
-	d := t.lane(in.Dst)
+	d := t.reg(bi.dst)
 	trip := 0
 	for base := lo; base < hi; base += W {
 		if t.err != nil {
@@ -68,12 +65,12 @@ func (t *threadCtx) vecLoopRange(in *vm.Instr, lo, hi int64, unroll int) {
 			d[l] = float64(base + l)
 		}
 		if trip%unroll == 0 {
-			t.charge(machine.OpIntALU, 1)
-			t.charge(machine.OpBranch, 1)
+			t.cost.add(bi.ch)
+			t.cost.add(bi.chB)
 		}
 		trip++
 		if base+W <= hi {
-			t.exec(in.Body)
+			t.exec(bi.body)
 			continue
 		}
 		// Tail: mask off lanes at or beyond hi.
@@ -82,7 +79,7 @@ func (t *threadCtx) vecLoopRange(in *vm.Instr, lo, hi int64, unroll int) {
 			m |= 1 << uint(l)
 		}
 		t.pushMask(m & t.mask)
-		t.exec(in.Body)
+		t.exec(bi.body)
 		t.popMask()
 	}
 }
@@ -90,13 +87,13 @@ func (t *threadCtx) vecLoopRange(in *vm.Instr, lo, hi int64, unroll int) {
 // while repeats the body while any active lane of the condition register is
 // non-zero. Divergent lanes are masked off but still occupy the SIMD unit,
 // which is exactly the divergence cost the paper discusses.
-func (t *threadCtx) while(in *vm.Instr) {
+func (t *threadCtx) while(bi *bInstr) {
 	W := t.e.W
 	for {
 		if t.err != nil {
 			return
 		}
-		cond := t.lane(in.A)
+		cond := t.reg(bi.a)
 		var m uint32
 		for l := 0; l < W; l++ {
 			if cond[l] != 0 {
@@ -112,35 +109,35 @@ func (t *threadCtx) while(in *vm.Instr) {
 			t.fail(fmt.Errorf("exec: prog %s: while loop exceeded %d iterations", t.e.prog.Name, uint64(maxWhileIters)))
 			return
 		}
-		t.charge(machine.OpBranch, 1)
-		if in.MissProb > 0 {
-			t.cost.stall += in.MissProb * t.e.m.BranchMissPenalty
+		t.cost.add(bi.ch)
+		if bi.missStall != 0 {
+			t.cost.stall += bi.missStall
 		}
 		t.pushMask(m)
-		t.exec(in.Body)
+		t.exec(bi.body)
 		t.popMask()
 	}
 }
 
 // branch executes a scalar if/else on lane 0 of the condition.
-func (t *threadCtx) branch(in *vm.Instr) {
-	t.charge(machine.OpBranch, 1)
-	if in.MissProb > 0 {
-		t.cost.stall += in.MissProb * t.e.m.BranchMissPenalty
+func (t *threadCtx) branch(bi *bInstr) {
+	t.cost.add(bi.ch)
+	if bi.missStall != 0 {
+		t.cost.stall += bi.missStall
 	}
-	if t.lane(in.A)[0] != 0 {
-		t.exec(in.Body)
+	if t.regs[bi.a] != 0 {
+		t.exec(bi.body)
 	} else {
-		t.exec(in.Else)
+		t.exec(bi.els)
 	}
 }
 
 // ifMask executes the body under the refined mask; if no lane is active the
 // body is skipped entirely (the "if none, jump over" idiom of real masked
 // SIMD code).
-func (t *threadCtx) ifMask(in *vm.Instr) {
+func (t *threadCtx) ifMask(bi *bInstr) {
 	W := t.e.W
-	cond := t.lane(in.A)
+	cond := t.reg(bi.a)
 	var m uint32
 	for l := 0; l < W; l++ {
 		if cond[l] != 0 {
@@ -148,11 +145,11 @@ func (t *threadCtx) ifMask(in *vm.Instr) {
 		}
 	}
 	m &= t.mask
-	t.charge(machine.OpBranch, 1)
+	t.cost.add(bi.ch)
 	if m == 0 {
 		return
 	}
 	t.pushMask(m)
-	t.exec(in.Body)
+	t.exec(bi.body)
 	t.popMask()
 }

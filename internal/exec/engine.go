@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"ninjagap/internal/cache"
@@ -21,11 +22,30 @@ type engine struct {
 	arrays    []*vm.Array
 	opt       Options
 	W         int
+	wMask     uint32 // (1<<W)-1: the full active mask
 	lineBytes int
+	lineMask  uint64 // ^(lineBytes-1) when lineBytes is a power of two, else 0
+	bp        *boundProg
 	threads   []*threadCtx
+	pool      *sync.Pool
 	coresUsed int
 	res       Result
+
+	// Per-run cost-model constants for the few charges whose lane count is
+	// only known dynamically (gather/scatter element counts).
+	l1Latency           float64
+	loadPort, storePort machine.Port
+	gatherC, scatterC   machine.Cost
+	hwGather, hwScatter bool
+
+	reduceInit []float64 // scratch for parallel-reduction init snapshots
 }
+
+// threadPools pools thread contexts (register file, mask stack, private
+// cache hierarchy) per distinct (machine model, share factor, prefetch)
+// configuration, so a long-lived process stops paying allocation and GC for
+// every measured cell. Hierarchy geometry depends on exactly that key.
+var threadPools sync.Map // string -> *sync.Pool
 
 // Run executes prog on machine m with the named arrays bound. It returns
 // the functional result in the arrays (mutated in place) and the simulated
@@ -38,15 +58,27 @@ func Run(prog *vm.Prog, arrays map[string]*vm.Array, m *machine.Machine, opt Opt
 		return nil, err
 	}
 	e := &engine{prog: prog, m: m, opt: opt, lineBytes: m.Caches[0].LineBytes}
+	if lb := uint64(e.lineBytes); lb&(lb-1) == 0 {
+		e.lineMask = ^(lb - 1)
+	}
+	e.l1Latency = m.Caches[0].Latency
+	e.loadPort = m.Cost(machine.OpLoad).Port
+	e.storePort = m.Cost(machine.OpStore).Port
+	e.gatherC = m.Cost(machine.OpGatherElem)
+	e.scatterC = m.Cost(machine.OpScatterElem)
+	e.hwGather = m.Feat.HWGather
+	e.hwScatter = m.Feat.HWScatter
 	eb := prog.ElemBytes
 	if eb == 0 {
 		eb = 4
 	}
 	e.W = m.Lanes(eb)
+	e.wMask = (1 << uint(e.W)) - 1
 
 	// Bind arrays in program order and lay them out in a sparse virtual
 	// address space so distinct arrays never share cache lines.
 	base := uint64(1 << 20)
+	e.arrays = make([]*vm.Array, 0, len(prog.Arrays))
 	for _, ref := range prog.Arrays {
 		a, ok := arrays[ref.Name]
 		if !ok {
@@ -61,6 +93,10 @@ func Run(prog *vm.Prog, arrays map[string]*vm.Array, m *machine.Machine, opt Opt
 		e.arrays = append(e.arrays, a)
 	}
 
+	// Link the program: flatten the structured body, then bind machine
+	// costs and array references onto the flat instruction stream.
+	e.bp = e.bind(prog.Flatten())
+
 	nt := opt.Threads
 	if nt <= 0 {
 		nt = m.HWThreads()
@@ -70,9 +106,14 @@ func Run(prog *vm.Prog, arrays map[string]*vm.Array, m *machine.Machine, opt Opt
 		e.coresUsed = m.Cores
 	}
 	pf := m.Feat.HWPrefetch && !opt.DisablePrefetch
+	key := fmt.Sprintf("%016x|%d|%t", m.Fingerprint(), e.coresUsed, pf)
+	poolI, _ := threadPools.LoadOrStore(key, &sync.Pool{})
+	e.pool = poolI.(*sync.Pool)
+	e.threads = make([]*threadCtx, 0, nt)
 	for t := 0; t < nt; t++ {
-		e.threads = append(e.threads, e.newThread(t, pf))
+		e.threads = append(e.threads, e.getThread(t, pf))
 	}
+	defer e.releaseThreads()
 	e.res.Threads = nt
 
 	if err := e.runTop(); err != nil {
@@ -84,15 +125,54 @@ func Run(prog *vm.Prog, arrays map[string]*vm.Array, m *machine.Machine, opt Opt
 	return &r, nil
 }
 
-func (e *engine) newThread(id int, prefetch bool) *threadCtx {
-	t := &threadCtx{
-		e:    e,
-		id:   id,
-		regs: make([]float64, e.prog.NumRegs*vm.MaxLanes),
-		hier: cache.New(e.m, cache.Config{ShareFactor: e.coresUsed, Prefetch: prefetch}),
+// lineOf rounds an address down to its cache-line base.
+func (e *engine) lineOf(addr uint64) uint64 {
+	if e.lineMask != 0 {
+		return addr & e.lineMask
+	}
+	lb := uint64(e.lineBytes)
+	return addr / lb * lb
+}
+
+// getThread takes a context from the pool (or builds one) and resets it to
+// the fresh-context state: zero registers, full mask, cold caches.
+func (e *engine) getThread(id int, prefetch bool) *threadCtx {
+	var t *threadCtx
+	if v := e.pool.Get(); v != nil {
+		t = v.(*threadCtx)
+	} else {
+		t = &threadCtx{
+			hier: cache.New(e.m, cache.Config{ShareFactor: e.coresUsed, Prefetch: prefetch}),
+		}
+	}
+	t.e = e
+	t.id = id
+	n := e.prog.NumRegs * vm.MaxLanes
+	if cap(t.regs) < n {
+		t.regs = make([]float64, n)
+	} else {
+		t.regs = t.regs[:n]
+		clear(t.regs)
 	}
 	t.mask = t.fullMask()
+	t.act = e.W
+	t.maskStack = t.maskStack[:0]
+	t.cost.reset()
+	t.hier.Reset()
+	t.lastDRAM = 0
+	t.err = nil
+	t.whileIter = 0
 	return t
+}
+
+// releaseThreads returns the contexts to the pool. The engine pointer is
+// cleared so a pooled context cannot pin a finished run's memory.
+func (e *engine) releaseThreads() {
+	for _, t := range e.threads {
+		t.e = nil
+		e.pool.Put(t)
+	}
+	e.threads = nil
 }
 
 // runTop walks the top-level body: sequential stretches execute on thread
@@ -101,76 +181,64 @@ func (e *engine) newThread(id int, prefetch bool) *threadCtx {
 // time and its bandwidth time.
 func (e *engine) runTop() error {
 	main := e.threads[0]
-	for i := range e.prog.Body {
-		in := &e.prog.Body[i]
-		if in.Op != vm.OpParLoop || len(e.threads) == 1 {
-			main.instr(in)
+	top := e.bp.top
+	for i := top.Start; i < top.End; i++ {
+		bi := &e.bp.instrs[i]
+		if bi.op != vm.OpParLoop || len(e.threads) == 1 {
+			main.instr(bi)
 			if main.err != nil {
 				return main.err
 			}
 			continue
 		}
 		// Close the current sequential segment before forking.
-		e.flushSegment([]*threadCtx{main}, false)
-		if err := e.parLoop(in); err != nil {
+		e.flushSegment(e.threads[:1], false)
+		if err := e.parLoop(bi); err != nil {
 			return err
 		}
 	}
-	e.flushSegment([]*threadCtx{main}, false)
+	e.flushSegment(e.threads[:1], false)
 	return nil
 }
 
 // parLoop forks one parallel loop across all threads and joins it as a
 // segment.
-func (e *engine) parLoop(in *vm.Instr) error {
+func (e *engine) parLoop(bi *bInstr) error {
 	main := e.threads[0]
-	n := main.tripCount(in)
+	n := main.tripCount(bi)
 	T := int64(len(e.threads))
 
 	// Seed every worker with the main thread's live register state.
 	for _, t := range e.threads[1:] {
 		copy(t.regs, main.regs)
 	}
-	init := make([]float64, len(in.ReduceRegs)*vm.MaxLanes)
-	for ri, r := range in.ReduceRegs {
-		copy(init[ri*vm.MaxLanes:(ri+1)*vm.MaxLanes], main.lane(r))
+	need := len(bi.reduceRegs) * vm.MaxLanes
+	if cap(e.reduceInit) < need {
+		e.reduceInit = make([]float64, need)
+	}
+	init := e.reduceInit[:need]
+	for ri, off := range bi.reduceRegs {
+		copy(init[ri*vm.MaxLanes:(ri+1)*vm.MaxLanes], main.reg(off)[:])
 	}
 
-	var wg sync.WaitGroup
-	for ti := int64(0); ti < T; ti++ {
-		t := e.threads[ti]
-		wg.Add(1)
-		go func(ti int64, t *threadCtx) {
-			defer wg.Done()
-			if in.Chunk > 0 {
-				// Round-robin chunks: an idealized dynamic schedule that
-				// balances irregular iteration costs.
-				ck := int64(in.Chunk)
-				for c := ti * ck; c < n; c += T * ck {
-					hi := c + ck
-					if hi > n {
-						hi = n
-					}
-					t.loopRange(in, in.Lo+c, in.Lo+hi)
-					if t.err != nil {
-						return
-					}
-				}
-				return
-			}
-			per := (n + T - 1) / T
-			lo := ti * per
-			hi := lo + per
-			if hi > n {
-				hi = n
-			}
-			if lo >= hi {
-				return
-			}
-			t.loopRange(in, in.Lo+lo, in.Lo+hi)
-		}(ti, t)
+	// Worker bodies are independent (disjoint iteration ranges, private
+	// register files and hierarchies), so on a single-CPU process they run
+	// inline in thread order — same results, no fork/join overhead.
+	if runtime.GOMAXPROCS(0) == 1 {
+		for ti := int64(0); ti < T; ti++ {
+			e.runWorker(bi, ti, n, T)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for ti := int64(0); ti < T; ti++ {
+			wg.Add(1)
+			go func(ti int64) {
+				defer wg.Done()
+				e.runWorker(bi, ti, n, T)
+			}(ti)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for _, t := range e.threads {
 		if t.err != nil {
 			return t.err
@@ -178,27 +246,27 @@ func (e *engine) parLoop(in *vm.Instr) error {
 	}
 
 	// Cross-thread reduction combine (deterministic thread order).
-	for ri, r := range in.ReduceRegs {
-		acc := main.lane(r)
+	for ri, off := range bi.reduceRegs {
+		acc := main.reg(off)
 		iv := init[ri*vm.MaxLanes : (ri+1)*vm.MaxLanes]
 		for l := 0; l < vm.MaxLanes; l++ {
-			switch in.ReduceOp {
+			switch bi.reduceOp {
 			case vm.OpAdd:
 				sum := iv[l]
 				for _, t := range e.threads {
-					sum += t.lane(r)[l] - iv[l]
+					sum += t.reg(off)[l] - iv[l]
 				}
 				acc[l] = sum
 			case vm.OpMin:
 				v := iv[l]
 				for _, t := range e.threads {
-					v = math.Min(v, t.lane(r)[l])
+					v = math.Min(v, t.reg(off)[l])
 				}
 				acc[l] = v
 			case vm.OpMax:
 				v := iv[l]
 				for _, t := range e.threads {
-					v = math.Max(v, t.lane(r)[l])
+					v = math.Max(v, t.reg(off)[l])
 				}
 				acc[l] = v
 			}
@@ -207,6 +275,38 @@ func (e *engine) parLoop(in *vm.Instr) error {
 
 	e.flushSegment(e.threads, true)
 	return nil
+}
+
+// runWorker executes thread ti's share of a parallel loop over n
+// iterations split across T threads.
+func (e *engine) runWorker(bi *bInstr, ti, n, T int64) {
+	t := e.threads[ti]
+	if bi.chunk > 0 {
+		// Round-robin chunks: an idealized dynamic schedule that balances
+		// irregular iteration costs.
+		ck := int64(bi.chunk)
+		for c := ti * ck; c < n; c += T * ck {
+			hi := c + ck
+			if hi > n {
+				hi = n
+			}
+			t.loopRange(bi, bi.lo+c, bi.lo+hi)
+			if t.err != nil {
+				return
+			}
+		}
+		return
+	}
+	per := (n + T - 1) / T
+	lo := ti * per
+	hi := lo + per
+	if hi > n {
+		hi = n
+	}
+	if lo >= hi {
+		return
+	}
+	t.loopRange(bi, bi.lo+lo, bi.lo+hi)
 }
 
 // flushSegment converts the threads' accumulated segment costs into elapsed

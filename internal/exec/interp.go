@@ -6,18 +6,19 @@ import (
 	"math/bits"
 
 	"ninjagap/internal/cache"
-	"ninjagap/internal/machine"
 	"ninjagap/internal/vm"
 )
 
 // threadCtx is one software thread's execution state: a private register
 // file, the predication mask stack, a private cache hierarchy, and the
-// segment cost accumulator.
+// segment cost accumulator. Contexts are pooled across runs (see engine.go);
+// reset() restores the fresh-context invariants.
 type threadCtx struct {
 	e    *engine
 	id   int
 	regs []float64 // NumRegs x MaxLanes, flat
 	mask uint32    // active-lane bitmask, bits [0,W)
+	act  int       // popcount of mask, maintained by the mask stack ops
 	// maskStack holds enclosing masks for predicated regions.
 	maskStack []uint32
 	cost      costAcc
@@ -35,8 +36,11 @@ func (t *threadCtx) fail(err error) {
 	}
 }
 
-func (t *threadCtx) lane(r int) []float64 {
-	return t.regs[r*vm.MaxLanes : r*vm.MaxLanes+vm.MaxLanes]
+// reg returns the lane block at a pre-bound register-file offset as a
+// fixed-size array pointer: no slice-header construction on the hot path,
+// and lane indexing compiles to constant-bound accesses.
+func (t *threadCtx) reg(off int) *[vm.MaxLanes]float64 {
+	return (*[vm.MaxLanes]float64)(t.regs[off:])
 }
 
 func (t *threadCtx) fullMask() uint32 { return (1 << uint(t.e.W)) - 1 }
@@ -44,180 +48,135 @@ func (t *threadCtx) fullMask() uint32 { return (1 << uint(t.e.W)) - 1 }
 func (t *threadCtx) pushMask(m uint32) {
 	t.maskStack = append(t.maskStack, t.mask)
 	t.mask = m
+	t.act = bits.OnesCount32(m)
 }
 
 func (t *threadCtx) popMask() {
 	t.mask = t.maskStack[len(t.maskStack)-1]
 	t.maskStack = t.maskStack[:len(t.maskStack)-1]
+	t.act = bits.OnesCount32(t.mask)
 }
 
-func (t *threadCtx) active() int { return bits.OnesCount32(t.mask) }
-
-// charge accounts one dynamic instruction of class cl operating on `lanes`
-// SIMD lanes.
-func (t *threadCtx) charge(cl machine.OpClass, lanes int) {
-	c := t.e.m.Cost(cl)
-	t.cost.port[c.Port] += c.Occupancy(lanes)
-	t.cost.instrs++
-	t.cost.dyn++
-	t.cost.classes[cl]++
-}
-
-// chargeCarried adds the serialization penalty of a loop-carried result:
-// the next iteration waits for the result latency rather than the
-// pipelined throughput. Unrolling with multiple accumulators divides the
-// penalty; the out-of-order window overlaps part of the remainder with
-// independent work (the 0.6 factor, calibrated against chain-bound
-// scalar reductions on the modeled parts).
-func (t *threadCtx) chargeCarried(cl machine.OpClass, lanes, unroll int) {
-	const oooOverlap = 0.6
-	c := t.e.m.Cost(cl)
-	extra := c.Latency - c.Occupancy(lanes)
-	if extra > 0 {
-		if unroll > 1 {
-			extra /= float64(unroll)
-		}
-		t.cost.stall += extra * oooOverlap
-	}
-}
-
-// exec runs a body; it stops early if an error was recorded.
-func (t *threadCtx) exec(body []vm.Instr) {
-	for i := range body {
+// exec runs one arena span; it stops early if an error was recorded.
+func (t *threadCtx) exec(s vm.Span) {
+	ins := t.e.bp.instrs
+	for i := s.Start; i < s.End; i++ {
 		if t.err != nil {
 			return
 		}
-		t.instr(&body[i])
+		t.instr(&ins[i])
 	}
 }
 
-func (t *threadCtx) instr(in *vm.Instr) {
-	W := t.e.W
-	if in.Scalar {
-		W = 1
-	}
-	switch in.Op {
+func (t *threadCtx) instr(bi *bInstr) {
+	w := bi.w
+	switch bi.op {
 	case vm.OpNop:
 
-	case vm.OpAdd, vm.OpSub, vm.OpMin, vm.OpMax:
-		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
-		switch in.Op {
-		case vm.OpAdd:
-			for l := 0; l < W; l++ {
-				d[l] = a[l] + b[l]
-			}
-		case vm.OpSub:
-			for l := 0; l < W; l++ {
-				d[l] = a[l] - b[l]
-			}
-		case vm.OpMin:
-			for l := 0; l < W; l++ {
-				d[l] = math.Min(a[l], b[l])
-			}
-		case vm.OpMax:
-			for l := 0; l < W; l++ {
-				d[l] = math.Max(a[l], b[l])
-			}
+	case vm.OpAdd:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = a[l] + b[l]
 		}
-		if in.Addr {
-			t.charge(machine.OpIntALU, W)
-		} else {
-			t.charge(machine.OpFPAdd, W)
-			t.cost.flops += uint64(t.activeFor(W))
-			if in.Carried {
-				t.chargeCarried(machine.OpFPAdd, W, in.Unroll)
-			}
+		t.finishArith(bi, w)
+
+	case vm.OpSub:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = a[l] - b[l]
 		}
+		t.finishArith(bi, w)
+
+	case vm.OpMin:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Min(a[l], b[l])
+		}
+		t.finishArith(bi, w)
+
+	case vm.OpMax:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Max(a[l], b[l])
+		}
+		t.finishArith(bi, w)
 
 	case vm.OpMul:
-		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			d[l] = a[l] * b[l]
 		}
-		if in.Addr {
-			t.charge(machine.OpIntALU, W)
-		} else {
-			t.charge(machine.OpFPMul, W)
-			t.cost.flops += uint64(t.activeFor(W))
-			if in.Carried {
-				t.chargeCarried(machine.OpFPMul, W, in.Unroll)
-			}
-		}
+		t.finishArith(bi, w)
 
 	case vm.OpDiv:
-		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			d[l] = a[l] / b[l]
 		}
-		t.charge(machine.OpFPDiv, W)
-		t.cost.flops += uint64(t.activeFor(W))
+		t.cost.add(bi.ch)
+		t.cost.flops += uint64(t.activeFor(w))
 
 	case vm.OpFMA:
-		a, b, c, d := t.lane(in.A), t.lane(in.B), t.lane(in.C), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, b, c, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.c), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			d[l] = a[l]*b[l] + c[l]
 		}
-		if t.e.m.Feat.FMA {
-			t.charge(machine.OpFPFMA, W)
-			if in.Carried {
-				t.chargeCarried(machine.OpFPFMA, W, in.Unroll)
-			}
-		} else {
-			// No FMA hardware: costs a multiply plus a dependent add.
-			t.charge(machine.OpFPMul, W)
-			t.charge(machine.OpFPAdd, W)
-			if in.Carried {
-				t.chargeCarried(machine.OpFPAdd, W, in.Unroll)
-			}
+		t.cost.add(bi.ch)
+		if bi.hasChB {
+			t.cost.add(bi.chB)
 		}
-		t.cost.flops += 2 * uint64(t.activeFor(W))
+		t.cost.stall += bi.carriedStall
+		t.cost.flops += 2 * uint64(t.activeFor(w))
 
-	case vm.OpNeg, vm.OpAbs, vm.OpFloor:
-		a, d := t.lane(in.A), t.lane(in.Dst)
-		switch in.Op {
-		case vm.OpNeg:
-			for l := 0; l < W; l++ {
-				d[l] = -a[l]
-			}
-		case vm.OpAbs:
-			for l := 0; l < W; l++ {
-				d[l] = math.Abs(a[l])
-			}
-		case vm.OpFloor:
-			for l := 0; l < W; l++ {
-				d[l] = math.Floor(a[l])
-			}
+	case vm.OpNeg:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = -a[l]
 		}
-		t.charge(machine.OpFPAdd, W)
+		t.cost.add(bi.ch)
+
+	case vm.OpAbs:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Abs(a[l])
+		}
+		t.cost.add(bi.ch)
+
+	case vm.OpFloor:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Floor(a[l])
+		}
+		t.cost.add(bi.ch)
 
 	case vm.OpSqrt:
-		a, d := t.lane(in.A), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			d[l] = math.Sqrt(a[l])
 		}
-		t.charge(machine.OpFPSqrt, W)
-		t.cost.flops += uint64(t.activeFor(W))
+		t.cost.add(bi.ch)
+		t.cost.flops += uint64(t.activeFor(w))
 
 	case vm.OpRsqrt:
-		a, d := t.lane(in.A), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			d[l] = 1 / math.Sqrt(a[l])
 		}
-		t.charge(machine.OpFPRsqrt, W)
-		t.cost.flops += uint64(t.activeFor(W))
+		t.cost.add(bi.ch)
+		t.cost.flops += uint64(t.activeFor(w))
 
 	case vm.OpRcp:
-		a, d := t.lane(in.A), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			d[l] = 1 / a[l]
 		}
-		t.charge(machine.OpFPRcp, W)
-		t.cost.flops += uint64(t.activeFor(W))
+		t.cost.add(bi.ch)
+		t.cost.flops += uint64(t.activeFor(w))
 
 	case vm.OpExp, vm.OpLog, vm.OpSin, vm.OpCos:
-		a, d := t.lane(in.A), t.lane(in.Dst)
+		a, d := t.reg(bi.a), t.reg(bi.dst)
 		var f func(float64) float64
-		switch in.Op {
+		switch bi.op {
 		case vm.OpExp:
 			f = math.Exp
 		case vm.OpLog:
@@ -227,21 +186,17 @@ func (t *threadCtx) instr(in *vm.Instr) {
 		case vm.OpCos:
 			f = math.Cos
 		}
-		for l := 0; l < W; l++ {
+		for l := 0; l < w; l++ {
 			d[l] = f(a[l])
 		}
-		if in.Scalar {
-			t.charge(machine.OpMathLibm, 1)
-		} else {
-			t.charge(machine.OpMathPoly, W)
-		}
-		t.cost.flops += uint64(t.activeFor(W))
+		t.cost.add(bi.ch)
+		t.cost.flops += uint64(t.activeFor(w))
 
 	case vm.OpCmpLT, vm.OpCmpLE, vm.OpCmpGT, vm.OpCmpGE, vm.OpCmpEQ, vm.OpCmpNE:
-		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			var r bool
-			switch in.Op {
+			switch bi.op {
 			case vm.OpCmpLT:
 				r = a[l] < b[l]
 			case vm.OpCmpLE:
@@ -261,14 +216,14 @@ func (t *threadCtx) instr(in *vm.Instr) {
 				d[l] = 0
 			}
 		}
-		t.charge(machine.OpFPAdd, W) // cmpps issues on the FP add stack
+		t.cost.add(bi.ch)
 
 	case vm.OpAndM, vm.OpOrM:
-		a, b, d := t.lane(in.A), t.lane(in.B), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			x, y := a[l] != 0, b[l] != 0
 			var r bool
-			if in.Op == vm.OpAndM {
+			if bi.op == vm.OpAndM {
 				r = x && y
 			} else {
 				r = x || y
@@ -279,67 +234,67 @@ func (t *threadCtx) instr(in *vm.Instr) {
 				d[l] = 0
 			}
 		}
-		t.charge(machine.OpShuffle, W)
+		t.cost.add(bi.ch)
 
 	case vm.OpNotM:
-		a, d := t.lane(in.A), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			if a[l] == 0 {
 				d[l] = 1
 			} else {
 				d[l] = 0
 			}
 		}
-		t.charge(machine.OpShuffle, W)
+		t.cost.add(bi.ch)
 
 	case vm.OpBlend:
-		a, b, c, d := t.lane(in.A), t.lane(in.B), t.lane(in.C), t.lane(in.Dst)
-		for l := 0; l < W; l++ {
+		a, b, c, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.c), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
 			if c[l] != 0 {
 				d[l] = a[l]
 			} else {
 				d[l] = b[l]
 			}
 		}
-		t.charge(machine.OpBlend, W)
+		t.cost.add(bi.ch)
 
 	case vm.OpConst:
-		d := t.lane(in.Dst)
+		d := t.reg(bi.dst)
 		for l := 0; l < vm.MaxLanes; l++ {
-			d[l] = in.Imm
+			d[l] = bi.imm
 		}
-		t.charge(machine.OpShuffle, W)
+		t.cost.add(bi.ch)
 
 	case vm.OpIota:
-		d := t.lane(in.Dst)
+		d := t.reg(bi.dst)
 		for l := 0; l < vm.MaxLanes; l++ {
-			d[l] = in.Imm + float64(l)
+			d[l] = bi.imm + float64(l)
 		}
-		t.charge(machine.OpShuffle, W)
+		t.cost.add(bi.ch)
 
 	case vm.OpCopy:
-		copy(t.lane(in.Dst), t.lane(in.A))
-		t.charge(machine.OpShuffle, W)
+		*t.reg(bi.dst) = *t.reg(bi.a)
+		t.cost.add(bi.ch)
 
 	case vm.OpBroadcast:
-		a, d := t.lane(in.A), t.lane(in.Dst)
+		a, d := t.reg(bi.a), t.reg(bi.dst)
 		v := a[0]
 		for l := 0; l < vm.MaxLanes; l++ {
 			d[l] = v
 		}
-		t.charge(machine.OpShuffle, W)
+		t.cost.add(bi.ch)
 
 	case vm.OpShuffle:
-		a, d := t.lane(in.A), t.lane(in.Dst)
+		a, d := t.reg(bi.a), t.reg(bi.dst)
 		var tmp [vm.MaxLanes]float64
-		for l := 0; l < W; l++ {
-			tmp[l] = a[in.Pattern[l%len(in.Pattern)]]
+		for l := 0; l < w; l++ {
+			tmp[l] = a[bi.pattern[l]]
 		}
-		copy(d, tmp[:])
-		t.charge(machine.OpShuffle, W)
+		*d = tmp
+		t.cost.add(bi.ch)
 
 	case vm.OpMaskMov:
-		d := t.lane(in.Dst)
+		d := t.reg(bi.dst)
 		for l := 0; l < vm.MaxLanes; l++ {
 			if t.mask&(1<<uint(l)) != 0 {
 				d[l] = 1
@@ -347,44 +302,53 @@ func (t *threadCtx) instr(in *vm.Instr) {
 				d[l] = 0
 			}
 		}
-		t.charge(machine.OpShuffle, W)
+		t.cost.add(bi.ch)
 
 	case vm.OpHAdd, vm.OpHMin, vm.OpHMax:
-		t.horizontal(in, W)
+		t.horizontal(bi, w)
 
 	case vm.OpLoad:
-		t.load(in, W)
+		t.load(bi, w)
 
 	case vm.OpStore:
-		t.store(in, W)
+		t.store(bi, w)
 
 	case vm.OpGather:
-		t.gather(in, W)
+		t.gather(bi, w)
 
 	case vm.OpScatter:
-		t.scatter(in, W)
+		t.scatter(bi, w)
 
 	case vm.OpLoop:
-		t.loop(in)
+		t.loop(bi)
 
 	case vm.OpParLoop:
 		// Inside a thread (or for a single-thread engine) a parallel loop
 		// degenerates to a sequential loop over the thread's range; the
 		// engine handles top-level partitioning before we get here.
-		t.loop(in)
+		t.loop(bi)
 
 	case vm.OpWhile:
-		t.while(in)
+		t.while(bi)
 
 	case vm.OpIf:
-		t.branch(in)
+		t.branch(bi)
 
 	case vm.OpIfMask:
-		t.ifMask(in)
+		t.ifMask(bi)
 
 	default:
-		t.fail(fmt.Errorf("exec: prog %s: unimplemented op %s", t.e.prog.Name, in.Op))
+		t.fail(fmt.Errorf("exec: prog %s: unimplemented op %s", t.e.prog.Name, bi.op))
 	}
+}
+
+// finishArith accounts a binary arithmetic op: its pre-bound charge, useful
+// flops when it is FP work, and the loop-carried stall (pre-computed; zero
+// when not carried).
+func (t *threadCtx) finishArith(bi *bInstr, w int) {
+	t.cost.add(bi.ch)
+	t.cost.flops += uint64(bi.flopsMul * t.activeFor(w))
+	t.cost.stall += bi.carriedStall
 }
 
 // activeFor returns the number of active lanes clipped to an op width.
@@ -392,15 +356,15 @@ func (t *threadCtx) activeFor(w int) int {
 	if w == 1 {
 		return 1
 	}
-	n := t.active()
+	n := t.act
 	if n > w {
 		n = w
 	}
 	return n
 }
 
-func (t *threadCtx) horizontal(in *vm.Instr, w int) {
-	a, d := t.lane(in.A), t.lane(in.Dst)
+func (t *threadCtx) horizontal(bi *bInstr, w int) {
+	a, d := t.reg(bi.a), t.reg(bi.dst)
 	var acc float64
 	first := true
 	for l := 0; l < w; l++ {
@@ -413,7 +377,7 @@ func (t *threadCtx) horizontal(in *vm.Instr, w int) {
 			first = false
 			continue
 		}
-		switch in.Op {
+		switch bi.op {
 		case vm.OpHAdd:
 			acc += v
 		case vm.OpHMin:
@@ -425,13 +389,8 @@ func (t *threadCtx) horizontal(in *vm.Instr, w int) {
 	for l := 0; l < vm.MaxLanes; l++ {
 		d[l] = acc
 	}
-	// log2(W) shuffle+add stages.
-	stages := bits.Len(uint(w)) - 1
-	if stages < 1 {
-		stages = 1
-	}
-	for s := 0; s < stages; s++ {
-		t.charge(machine.OpShuffle, w)
-		t.charge(machine.OpFPAdd, w)
+	for s := 0; s < bi.stages; s++ {
+		t.cost.add(bi.ch)
+		t.cost.add(bi.chB)
 	}
 }

@@ -8,66 +8,84 @@ import (
 	"ninjagap/internal/vm"
 )
 
-// touchLine simulates one demand cache access and charges miss stalls.
-// carried loads lose miss-level parallelism (pointer chasing).
-func (t *threadCtx) touchLine(lineAddr uint64, write, carried bool) {
-	mlp := float64(t.e.m.Mem.MLP)
-	if carried {
-		mlp = 1
-	}
-	t.touchLineMLP(lineAddr, write, mlp)
-}
-
-// touchLineMLP is touchLine with an explicit miss-level-parallelism factor
-// (carried vector gathers still overlap their lanes' misses).
+// touchLineMLP simulates one demand cache access and charges miss stalls,
+// overlapping misses up to the given miss-level-parallelism factor. The
+// per-instruction mlp (reduced to 1 for carried loads — pointer chasing) is
+// pre-bound; carried vector gathers compute theirs from the live mask.
 func (t *threadCtx) touchLineMLP(lineAddr uint64, write bool, mlp float64) {
-	res := t.hier.Access(lineAddr, write)
+	lvl, lat := t.hier.AccessCost(lineAddr, write)
 	if write {
 		// Store misses are absorbed by the store buffer and write-combining;
 		// their cost surfaces as DRAM traffic in the bandwidth bound.
 		return
 	}
-	if res.Level == cache.L1 {
+	if lvl == cache.L1 {
 		return // covered by the pipelined L1 latency
 	}
-	l1 := t.e.m.Caches[0].Latency
-	pen := res.Latency - l1
+	pen := lat - t.e.l1Latency
 	if pen > 0 {
 		t.cost.stall += pen / mlp
 	}
 }
 
-func (t *threadCtx) boundsErr(in *vm.Instr, arr *vm.Array, idx int64) {
+func (t *threadCtx) boundsErr(bi *bInstr, idx int64) {
 	t.fail(fmt.Errorf("exec: prog %s: %s on array %s: index %d out of range [0,%d)",
-		t.e.prog.Name, in.Op, arr.Name, idx, len(arr.Data)))
+		t.e.prog.Name, bi.op, bi.arr.Name, idx, len(bi.arr.Data)))
 }
 
 // load implements OpLoad: lane l reads arr[base + l*stride] (scalar: just
-// base). Cost depends on the stride class: unit/broadcast strides are one
-// vector load; small strides cost extra loads and shuffles; large strides
-// degrade to a gather.
-func (t *threadCtx) load(in *vm.Instr, w int) {
-	arr := t.e.arrays[in.Arr]
-	base := int64(t.lane(in.A)[0])
-	d := t.lane(in.Dst)
-	lb := uint64(t.e.lineBytes)
-	eb := uint64(arr.ElemBytes)
+// base). Cost depends on the pre-bound stride class: unit/broadcast strides
+// are one vector load; small strides cost extra loads and shuffles; large
+// strides degrade to a gather.
+func (t *threadCtx) load(bi *bInstr, w int) {
+	arr := bi.arr
+	base := int64(t.regs[bi.a])
+	d := t.reg(bi.dst)
+	eb := bi.eb
 
 	if w == 1 {
 		if base < 0 || base >= int64(len(arr.Data)) {
-			t.boundsErr(in, arr, base)
+			t.boundsErr(bi, base)
 			return
 		}
 		d[0] = arr.Data[base]
-		t.charge(machine.OpLoad, 1)
-		if in.Carried {
-			t.chargeCarried(machine.OpLoad, 1, in.Unroll)
-		}
-		t.touchLine((arr.Base+uint64(base)*eb)/lb*lb, false, in.Carried)
+		t.cost.add(bi.ch)
+		t.cost.stall += bi.carriedStall
+		t.touchLineMLP(t.e.lineOf(arr.Base+uint64(base)*eb), false, bi.mlp)
 		return
 	}
 
-	stride := int64(in.Stride)
+	// Contiguous fast path: a full-mask forward unit-stride load reads
+	// arr[base : base+w] and touches an ascending, duplicate-free run of
+	// lines — the same values, in the same first-touch order, the general
+	// loop below would produce.
+	if bi.stride == 1 && t.mask == t.e.wMask && eb <= uint64(t.e.lineBytes) {
+		if base < 0 || base+int64(w) > int64(len(arr.Data)) {
+			t.slowLoad(bi, w, base)
+			return
+		}
+		copy(d[:w], arr.Data[base:base+int64(w)])
+		t.cost.add(bi.ch)
+		if bi.alignCheck && base%int64(w) != 0 {
+			t.cost.add(bi.chB) // realign penalty
+		}
+		t.cost.stall += bi.carriedStall
+		first := t.e.lineOf(arr.Base + uint64(base)*eb)
+		last := t.e.lineOf(arr.Base + uint64(base+int64(w)-1)*eb)
+		for la := first; la <= last; la += uint64(t.e.lineBytes) {
+			t.touchLineMLP(la, false, bi.mlp)
+		}
+		return
+	}
+	t.slowLoad(bi, w, base)
+}
+
+// slowLoad is the general (masked / strided / gathering) vector-load path.
+func (t *threadCtx) slowLoad(bi *bInstr, w int, base int64) {
+	arr := bi.arr
+	d := t.reg(bi.dst)
+	eb := bi.eb
+	stride := bi.stride
 	var lines [2 * vm.MaxLanes]uint64
 	nl := 0
 	for l := 0; l < w; l++ {
@@ -77,11 +95,11 @@ func (t *threadCtx) load(in *vm.Instr, w int) {
 		}
 		idx := base + int64(l)*stride
 		if idx < 0 || idx >= int64(len(arr.Data)) {
-			t.boundsErr(in, arr, idx)
+			t.boundsErr(bi, idx)
 			return
 		}
 		d[l] = arr.Data[idx]
-		la := (arr.Base + uint64(idx)*eb) / lb * lb
+		la := t.e.lineOf(arr.Base + uint64(idx)*eb)
 		dup := false
 		for i := 0; i < nl; i++ {
 			if lines[i] == la {
@@ -97,55 +115,73 @@ func (t *threadCtx) load(in *vm.Instr, w int) {
 
 	// Port cost by stride class (reverse strides behave like forward ones
 	// plus a permute).
-	astride := stride
-	if astride < 0 {
-		astride = -astride
-	}
-	switch {
-	case astride <= 1:
-		t.charge(machine.OpLoad, w)
-		if stride == -1 {
-			t.charge(machine.OpShuffle, w) // reverse permute
+	switch bi.memKind {
+	case memUnit:
+		t.cost.add(bi.ch)
+		if bi.revPermute {
+			t.cost.add(bi.chB) // reverse permute
 		}
-		if astride == 1 && !t.e.m.Feat.FastUnaligned && base%int64(w) != 0 {
-			t.charge(machine.OpShuffle, w) // realign penalty
+		if bi.alignCheck && base%int64(w) != 0 {
+			t.cost.add(bi.chB) // realign penalty
 		}
-	case astride <= 4:
-		for s := int64(0); s < astride; s++ {
-			t.charge(machine.OpLoad, w)
-			t.charge(machine.OpShuffle, w)
+	case memSmall:
+		for s := int64(0); s < bi.astride; s++ {
+			t.cost.add(bi.ch)
+			t.cost.add(bi.chB)
 		}
 	default:
 		t.gatherCost(nl)
 	}
-	if in.Carried {
-		t.chargeCarried(machine.OpLoad, w, in.Unroll)
-	}
+	t.cost.stall += bi.carriedStall
 	for i := 0; i < nl; i++ {
-		t.touchLine(lines[i], false, in.Carried)
+		t.touchLineMLP(lines[i], false, bi.mlp)
 	}
 }
 
 // store implements OpStore: lane l writes arr[base + l*stride] (masked).
-func (t *threadCtx) store(in *vm.Instr, w int) {
-	arr := t.e.arrays[in.Arr]
-	base := int64(t.lane(in.B)[0])
-	v := t.lane(in.A)
-	lb := uint64(t.e.lineBytes)
-	eb := uint64(arr.ElemBytes)
+func (t *threadCtx) store(bi *bInstr, w int) {
+	arr := bi.arr
+	base := int64(t.regs[bi.b])
+	v := t.reg(bi.a)
+	eb := bi.eb
 
 	if w == 1 {
 		if base < 0 || base >= int64(len(arr.Data)) {
-			t.boundsErr(in, arr, base)
+			t.boundsErr(bi, base)
 			return
 		}
 		arr.Data[base] = v[0]
-		t.charge(machine.OpStore, 1)
-		t.touchLine((arr.Base+uint64(base)*eb)/lb*lb, true, false)
+		t.cost.add(bi.ch)
+		t.touchLineMLP(t.e.lineOf(arr.Base+uint64(base)*eb), true, bi.mlp)
 		return
 	}
 
-	stride := int64(in.Stride)
+	// Contiguous fast path, mirroring load's: full-mask forward unit
+	// stride writes arr[base : base+w] and dirties an ascending run of
+	// lines (a full mask also means no masked-store blend charge).
+	if bi.stride == 1 && t.mask == t.e.wMask && eb <= uint64(t.e.lineBytes) {
+		if base < 0 || base+int64(w) > int64(len(arr.Data)) {
+			t.slowStore(bi, w, base)
+			return
+		}
+		copy(arr.Data[base:base+int64(w)], v[:w])
+		t.cost.add(bi.ch)
+		first := t.e.lineOf(arr.Base + uint64(base)*eb)
+		last := t.e.lineOf(arr.Base + uint64(base+int64(w)-1)*eb)
+		for la := first; la <= last; la += uint64(t.e.lineBytes) {
+			t.touchLineMLP(la, true, bi.mlp)
+		}
+		return
+	}
+	t.slowStore(bi, w, base)
+}
+
+// slowStore is the general (masked / strided / scattering) vector-store path.
+func (t *threadCtx) slowStore(bi *bInstr, w int, base int64) {
+	arr := bi.arr
+	v := t.reg(bi.a)
+	eb := bi.eb
+	stride := bi.stride
 	var lines [2 * vm.MaxLanes]uint64
 	nl := 0
 	for l := 0; l < w; l++ {
@@ -154,11 +190,11 @@ func (t *threadCtx) store(in *vm.Instr, w int) {
 		}
 		idx := base + int64(l)*stride
 		if idx < 0 || idx >= int64(len(arr.Data)) {
-			t.boundsErr(in, arr, idx)
+			t.boundsErr(bi, idx)
 			return
 		}
 		arr.Data[idx] = v[l]
-		la := (arr.Base + uint64(idx)*eb) / lb * lb
+		la := t.e.lineOf(arr.Base + uint64(idx)*eb)
 		dup := false
 		for i := 0; i < nl; i++ {
 			if lines[i] == la {
@@ -171,36 +207,31 @@ func (t *threadCtx) store(in *vm.Instr, w int) {
 			nl++
 		}
 	}
-	astride := stride
-	if astride < 0 {
-		astride = -astride
-	}
-	switch {
-	case astride <= 1:
-		t.charge(machine.OpStore, w)
+	switch bi.memKind {
+	case memUnit:
+		t.cost.add(bi.ch)
 		if t.mask != t.fullMask() {
-			t.charge(machine.OpBlend, w) // masked store needs a blend/mask op
+			t.cost.add(bi.chC) // masked store needs a blend/mask op
 		}
-	case astride <= 4:
-		for s := int64(0); s < astride; s++ {
-			t.charge(machine.OpStore, w)
-			t.charge(machine.OpShuffle, w)
+	case memSmall:
+		for s := int64(0); s < bi.astride; s++ {
+			t.cost.add(bi.ch)
+			t.cost.add(bi.chB)
 		}
 	default:
 		t.scatterCost(nl)
 	}
 	for i := 0; i < nl; i++ {
-		t.touchLine(lines[i], true, false)
+		t.touchLineMLP(lines[i], true, bi.mlp)
 	}
 }
 
 // gather implements OpGather: lane l reads arr[idx.lane(l)].
-func (t *threadCtx) gather(in *vm.Instr, w int) {
-	arr := t.e.arrays[in.Arr]
-	idxs := t.lane(in.A)
-	d := t.lane(in.Dst)
-	lb := uint64(t.e.lineBytes)
-	eb := uint64(arr.ElemBytes)
+func (t *threadCtx) gather(bi *bInstr, w int) {
+	arr := bi.arr
+	idxs := t.reg(bi.a)
+	d := t.reg(bi.dst)
+	eb := bi.eb
 
 	var lines [vm.MaxLanes]uint64
 	nl := 0
@@ -211,11 +242,11 @@ func (t *threadCtx) gather(in *vm.Instr, w int) {
 		}
 		idx := int64(idxs[l])
 		if idx < 0 || idx >= int64(len(arr.Data)) {
-			t.boundsErr(in, arr, idx)
+			t.boundsErr(bi, idx)
 			return
 		}
 		d[l] = arr.Data[idx]
-		la := (arr.Base + uint64(idx)*eb) / lb * lb
+		la := t.e.lineOf(arr.Base + uint64(idx)*eb)
 		dup := false
 		for i := 0; i < nl; i++ {
 			if lines[i] == la {
@@ -229,14 +260,12 @@ func (t *threadCtx) gather(in *vm.Instr, w int) {
 		}
 	}
 	t.gatherCost(nl)
-	if in.Carried {
-		t.chargeCarried(machine.OpGatherElem, 1, in.Unroll)
-	}
+	t.cost.stall += bi.carriedStall
 	// A carried gather serializes with the previous iteration, but its own
 	// lanes' misses still overlap with each other.
-	mlp := float64(t.e.m.Mem.MLP)
-	if in.Carried {
-		act := t.active()
+	mlp := bi.mlp
+	if bi.carried {
+		act := t.act
 		if act < 1 {
 			act = 1
 		}
@@ -250,12 +279,11 @@ func (t *threadCtx) gather(in *vm.Instr, w int) {
 }
 
 // scatter implements OpScatter: lane l writes arr[idx.lane(l)] (masked).
-func (t *threadCtx) scatter(in *vm.Instr, w int) {
-	arr := t.e.arrays[in.Arr]
-	idxs := t.lane(in.B)
-	v := t.lane(in.A)
-	lb := uint64(t.e.lineBytes)
-	eb := uint64(arr.ElemBytes)
+func (t *threadCtx) scatter(bi *bInstr, w int) {
+	arr := bi.arr
+	idxs := t.reg(bi.b)
+	v := t.reg(bi.a)
+	eb := bi.eb
 
 	var lines [vm.MaxLanes]uint64
 	nl := 0
@@ -265,11 +293,11 @@ func (t *threadCtx) scatter(in *vm.Instr, w int) {
 		}
 		idx := int64(idxs[l])
 		if idx < 0 || idx >= int64(len(arr.Data)) {
-			t.boundsErr(in, arr, idx)
+			t.boundsErr(bi, idx)
 			return
 		}
 		arr.Data[idx] = v[l]
-		la := (arr.Base + uint64(idx)*eb) / lb * lb
+		la := t.e.lineOf(arr.Base + uint64(idx)*eb)
 		dup := false
 		for i := 0; i < nl; i++ {
 			if lines[i] == la {
@@ -284,57 +312,52 @@ func (t *threadCtx) scatter(in *vm.Instr, w int) {
 	}
 	t.scatterCost(nl)
 	for i := 0; i < nl; i++ {
-		t.touchLine(lines[i], true, false)
+		t.touchLineMLP(lines[i], true, bi.mlp)
 	}
 }
 
 // gatherCost charges the port cost of gathering from nl distinct lines.
 // With hardware gather the instruction is line-rate limited; without it,
-// every active element pays the extract-load-insert sequence.
+// every active element pays the extract-load-insert sequence. The cost rows
+// are engine-level constants (looked up once per run).
 func (t *threadCtx) gatherCost(nl int) {
-	act := t.active()
+	act := t.act
 	if act == 0 {
 		act = 1
 	}
-	if t.e.m.Feat.HWGather {
-		c := t.e.m.Cost(machine.OpLoad)
+	if t.e.hwGather {
 		occ := float64(nl)
 		if occ < 1 {
 			occ = 1
 		}
-		t.cost.port[c.Port] += occ
-		t.cost.instrs++
+		t.cost.port[t.e.loadPort] += occ
 		t.cost.dyn++
 		t.cost.classes[machine.OpGatherElem]++
 		return
 	}
-	c := t.e.m.Cost(machine.OpGatherElem)
+	c := t.e.gatherC
 	t.cost.port[c.Port] += c.Occupancy(act)
-	t.cost.instrs += float64(act)
 	t.cost.dyn += uint64(act)
 	t.cost.classes[machine.OpGatherElem] += uint64(act)
 }
 
 func (t *threadCtx) scatterCost(nl int) {
-	act := t.active()
+	act := t.act
 	if act == 0 {
 		act = 1
 	}
-	if t.e.m.Feat.HWScatter {
-		c := t.e.m.Cost(machine.OpStore)
+	if t.e.hwScatter {
 		occ := float64(nl)
 		if occ < 1 {
 			occ = 1
 		}
-		t.cost.port[c.Port] += occ
-		t.cost.instrs++
+		t.cost.port[t.e.storePort] += occ
 		t.cost.dyn++
 		t.cost.classes[machine.OpScatterElem]++
 		return
 	}
-	c := t.e.m.Cost(machine.OpScatterElem)
+	c := t.e.scatterC
 	t.cost.port[c.Port] += c.Occupancy(act)
-	t.cost.instrs += float64(act)
 	t.cost.dyn += uint64(act)
 	t.cost.classes[machine.OpScatterElem] += uint64(act)
 }

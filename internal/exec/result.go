@@ -90,10 +90,11 @@ func (r *Result) Speedup(other *Result) float64 {
 	return other.Seconds / r.Seconds
 }
 
-// costAcc accumulates per-segment cost on one thread.
+// costAcc accumulates per-segment cost on one thread. Dynamic issue slots
+// are not tracked separately: every charge issues exactly one slot, so the
+// slot count is dyn (converted to float64 where cycle math needs it).
 type costAcc struct {
 	port    [machine.NumPorts]float64
-	instrs  float64 // dynamic instruction issue slots
 	stall   float64 // memory + dependence + branch stall cycles
 	dyn     uint64
 	flops   uint64
@@ -102,9 +103,18 @@ type costAcc struct {
 
 func (c *costAcc) reset() { *c = costAcc{} }
 
+// add accounts one dynamic instruction with a pre-bound charge row: port
+// occupancy, one issue slot, one class count. This is the bound-program
+// equivalent of the old charge(class, lanes).
+func (c *costAcc) add(ch chargeRow) {
+	c.port[ch.port] += ch.occ
+	c.dyn++
+	c.classes[ch.class]++
+}
+
 // computeCycles returns the port/issue-bound compute time of the segment.
 func (c *costAcc) computeCycles(issueWidth int) float64 {
-	t := c.instrs / float64(issueWidth)
+	t := float64(c.dyn) / float64(issueWidth)
 	for _, p := range c.port {
 		if p > t {
 			t = p

@@ -1,0 +1,33 @@
+package gap
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// scalePresets are the named problem-size multipliers the CLIs accept for
+// -scale alongside bare numbers. They give the common invocations stable
+// names: "small" is the CI / quick-check size, "full" the paper's
+// evaluation size.
+var scalePresets = map[string]float64{
+	"smoke":  0.05,
+	"small":  0.1,
+	"medium": 0.5,
+	"full":   1,
+}
+
+// ParseScale resolves a -scale flag value: either a named preset (smoke,
+// small, medium, full) or a positive number.
+func ParseScale(s string) (float64, error) {
+	if v, ok := scalePresets[s]; ok {
+		return v, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -scale %q: want a number or one of smoke, small, medium, full", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("bad -scale %q: must be positive", s)
+	}
+	return v, nil
+}

@@ -144,6 +144,22 @@ func (s *Scheduler) measure(ctx context.Context, c Cell) (*Measurement, error) {
 	})
 }
 
+// errsPool recycles Run's per-batch error slates. The experiment drivers
+// call Run once per figure row and almost every batch finishes clean, so
+// without the pool the all-nil slices are pure churn.
+var errsPool sync.Pool
+
+func getErrs(n int) *[]error {
+	if v, ok := errsPool.Get().(*[]error); ok && cap(*v) >= n {
+		s := (*v)[:n]
+		clear(s)
+		*v = s
+		return v
+	}
+	s := make([]error, n)
+	return &s
+}
+
 // Run measures every cell and returns results in cell order: results[i]
 // belongs to cells[i]. The first failing cell (by input order) cancels
 // the remaining work via ctx and is returned as the error; cells already
@@ -153,13 +169,37 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) ([]*Measurement, erro
 		ctx = context.Background()
 	}
 	results := make([]*Measurement, len(cells))
-	errs := make([]error, len(cells))
 	if len(cells) == 0 {
 		return results, nil
 	}
+	errsp := getErrs(len(cells))
+	defer errsPool.Put(errsp)
+	errs := *errsp
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// Serial fast path: with one worker there is nothing to fan out, so
+	// the cells run inline on this goroutine — no channel handoff, no
+	// worker pool — with exactly the pooled path's per-cell error
+	// accounting (a failure cancels ctx; later cells are marked with the
+	// cancellation cause and skipped).
+	if s.workers(len(cells)) == 1 {
+		for i := range cells {
+			if ctx.Err() != nil {
+				errs[i] = context.Cause(ctx)
+				continue
+			}
+			m, err := s.measure(ctx, cells[i])
+			if err != nil {
+				errs[i] = err
+				cancel()
+				continue
+			}
+			results[i] = m
+		}
+		return collect(ctx, results, errs)
+	}
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -199,12 +239,15 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) ([]*Measurement, erro
 	}
 	close(idx)
 	wg.Wait()
+	return collect(ctx, results, errs)
+}
 
-	// Deterministic error reporting: the lowest-index real failure wins
-	// over the cancellations it caused. Cancellation is classified with
-	// errors.Is, not pointer equality — cells return wrapped context
-	// errors (e.g. via the memo or a deadline inside measureCell), and
-	// those must not be misreported as real failures.
+// collect applies the deterministic error-reporting policy to a finished
+// batch: the lowest-index real failure wins over the cancellations it
+// caused. Cancellation is classified with errors.Is, not pointer equality
+// — cells return wrapped context errors (e.g. via the memo or a deadline
+// inside measureCell), and those must not be misreported as real failures.
+func collect(ctx context.Context, results []*Measurement, errs []error) ([]*Measurement, error) {
 	var cancelled error
 	for i, err := range errs {
 		if err == nil {

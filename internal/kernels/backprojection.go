@@ -132,10 +132,18 @@ func (b BackProjection) source(v Version, d int) *lang.Kernel {
 		Arrays: []*lang.Array{sino, img}, Body: []lang.Stmt{aLoop}}
 }
 
+// bpData is the memoized per-size generated input and reference.
+type bpData struct {
+	sino, golden []float64
+}
+
 // Prepare implements Benchmark.
 func (b BackProjection) Prepare(v Version, m *machine.Machine, d int) (*Instance, error) {
-	sino := bpGen(d)
-	golden := bpRef(sino, d)
+	bp := cachedInputs(b.Name(), d, func() bpData {
+		sino := bpGen(d)
+		return bpData{sino: sino, golden: bpRef(sino, d)}
+	})
+	sino, golden := bp.sino, bp.golden
 	arrays := map[string]*vm.Array{
 		"sino": newArr("sino", len(sino)),
 		"img":  newArr("img", d*d),

@@ -180,10 +180,19 @@ func (BlackScholes) pack(in *bsInputs, soa bool) *vm.Array {
 	return a
 }
 
+// bsData is the memoized per-size generated input and reference.
+type bsData struct {
+	in     *bsInputs
+	golden []float64
+}
+
 // Prepare implements Benchmark.
 func (b BlackScholes) Prepare(v Version, m *machine.Machine, n int) (*Instance, error) {
-	in := bsGen(n)
-	golden := bsRef(in)
+	d := cachedInputs(b.Name(), n, func() bsData {
+		in := bsGen(n)
+		return bsData{in: in, golden: bsRef(in)}
+	})
+	in, golden := d.in, d.golden
 	soa := v >= Algo
 	arrays := map[string]*vm.Array{
 		"opt": b.pack(in, soa),

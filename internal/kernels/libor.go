@@ -210,10 +210,19 @@ func packZ(z []float64, paths int, stepMajor bool) *vm.Array {
 	return a
 }
 
+// liborData is the memoized per-size generated input and reference.
+type liborData struct {
+	in     *liborInputs
+	golden []float64
+}
+
 // Prepare implements Benchmark.
 func (b Libor) Prepare(v Version, m *machine.Machine, paths int) (*Instance, error) {
-	in := liborGen(paths)
-	golden := liborRef(in, paths)
+	d := cachedInputs(b.Name(), paths, func() liborData {
+		in := liborGen(paths)
+		return liborData{in: in, golden: liborRef(in, paths)}
+	})
+	in, golden := d.in, d.golden
 	stepMajor := v >= Algo
 	arrays := map[string]*vm.Array{
 		"lmat": newArr("lmat", paths*liborMat),

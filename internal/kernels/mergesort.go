@@ -127,14 +127,23 @@ func (b MergeSort) source(v Version, n int) *lang.Kernel {
 		Arrays: []*lang.Array{a, bb}, Body: body}
 }
 
+// msData is the memoized per-size generated input and reference.
+type msData struct {
+	keys, golden []float64
+}
+
 // Prepare implements Benchmark.
 func (b MergeSort) Prepare(v Version, m *machine.Machine, n int) (*Instance, error) {
 	if n&(n-1) != 0 {
 		return nil, fmt.Errorf("mergesort: n %d must be a power of two", n)
 	}
-	keys := msGen(n)
-	golden := append([]float64(nil), keys...)
-	sort.Float64s(golden)
+	d := cachedInputs(b.Name(), n, func() msData {
+		keys := msGen(n)
+		golden := append([]float64(nil), keys...)
+		sort.Float64s(golden)
+		return msData{keys: keys, golden: golden}
+	})
+	keys, golden := d.keys, d.golden
 	arrays := map[string]*vm.Array{
 		"a": newArr("a", n),
 		"b": newArr("b", n),

@@ -165,10 +165,19 @@ func unpackAcc(a *vm.Array, n int, soa bool) []float64 {
 	return out
 }
 
+// nbodyData is the memoized per-size generated input and reference.
+type nbodyData struct {
+	in     *nbodyInputs
+	golden []float64
+}
+
 // Prepare implements Benchmark.
 func (b NBody) Prepare(v Version, m *machine.Machine, n int) (*Instance, error) {
-	in := nbodyGen(n)
-	golden := nbodyRef(in)
+	d := cachedInputs(b.Name(), n, func() nbodyData {
+		in := nbodyGen(n)
+		return nbodyData{in: in, golden: nbodyRef(in)}
+	})
+	in, golden := d.in, d.golden
 	soa := v >= Algo
 	arrays := map[string]*vm.Array{
 		"pos": b.pack(in, soa),

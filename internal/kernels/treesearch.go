@@ -136,10 +136,19 @@ func (b TreeSearch) source(v Version, nq int) *lang.Kernel {
 		Arrays: []*lang.Array{tree, queries, out}, Body: []lang.Stmt{qLoop}}
 }
 
+// tsData is the memoized per-size generated input and reference.
+type tsData struct {
+	in     *treeInputs
+	golden []float64
+}
+
 // Prepare implements Benchmark.
 func (b TreeSearch) Prepare(v Version, m *machine.Machine, nq int) (*Instance, error) {
-	in := tsGen(nq)
-	golden := tsRef(in)
+	d := cachedInputs(b.Name(), nq, func() tsData {
+		in := tsGen(nq)
+		return tsData{in: in, golden: tsRef(in)}
+	})
+	in, golden := d.in, d.golden
 	arrays := map[string]*vm.Array{
 		"tree":    newArr("tree", len(in.tree)),
 		"queries": newArr("queries", nq),

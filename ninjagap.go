@@ -158,6 +158,10 @@ func Run(b Bench, v Version, m *Machine, n int) (*Measurement, error) {
 // Config scales and scopes experiments.
 type Config = gap.Config
 
+// ParseScale resolves a -scale flag value: a named preset (smoke=0.05,
+// small=0.1, medium=0.5, full=1) or a positive number.
+var ParseScale = gap.ParseScale
+
 // Kernel is a restricted-C source program; Array declares one of its
 // array parameters (element type, length, record layout, restrict).
 type Kernel = lang.Kernel
@@ -239,4 +243,7 @@ var (
 	// BenchExport measures the full grid and packages it as the
 	// machine-readable BENCH_results.json snapshot.
 	BenchExport = gap.BenchExport
+	// EngineBench extends the snapshot with a wallclock section timing
+	// the simulator itself (host cells/sec, simulated-instructions/sec).
+	EngineBench = gap.EngineBench
 )
