@@ -23,6 +23,10 @@
 //
 //	-scale S     problem-size multiplier: a number or a named preset
 //	             (smoke=0.05, small=0.1, medium=0.5, full=1; default 1)
+//	-cache-dir D persistent measurement cache: cells measured by any
+//	             earlier run sharing D are served from disk (see
+//	             docs/OPERATIONS.md); prints a cache-traffic summary
+//	             to stderr after the run
 //	-cpuprofile FILE  write a CPU profile of the whole run
 //	-memprofile FILE  write a heap profile at exit
 //	-bench list  comma-separated benchmark subset
@@ -67,6 +71,7 @@ func main() {
 	n := fs.Int("n", 0, "problem size for `run` (0 = evaluation size)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to `file`")
+	cacheDir := fs.String("cache-dir", "", "persistent measurement cache directory (warm restarts)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -74,6 +79,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ninjagap:", err)
 		os.Exit(2)
+	}
+	if *cacheDir != "" {
+		if err := ninjagap.SetCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ninjagap:", err)
+			os.Exit(1)
+		}
+		// The summary line is what the CI warm-restart smoke job parses
+		// ("memo: H memory hits, D disk hits, C computed").
+		defer func() { fmt.Fprintln(os.Stderr, "ninjagap:", ninjagap.FormatMemoStats()) }()
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -314,5 +328,5 @@ commands: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablate all
           bench-export engine-bench run list
 flags:    -scale F|smoke|small|medium|full  -bench a,b,c  -jobs N  -json
           -format text|json|csv  -out FILE  -machine M  -version V  -n N
-          -cpuprofile FILE  -memprofile FILE`)
+          -cache-dir DIR  -cpuprofile FILE  -memprofile FILE`)
 }

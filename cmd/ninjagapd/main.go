@@ -35,12 +35,23 @@
 //	-max-queue N       waiting requests beyond that before 503 (8)
 //	-timeout D         per-request measurement deadline (2m)
 //	-drain D           graceful-shutdown drain budget on SIGINT/SIGTERM (30s)
+//	-cache-dir DIR     persistent measurement cache: restarts serve
+//	                   previously measured cells from disk instead of
+//	                   re-simulating (warm restart)
+//	-workers H1,H2,... coordinator mode: shard each run's cells across
+//	                   these worker daemons (consistent hashing on the
+//	                   cell key, hedged retries, local fallback)
+//	-hedge D           straggler re-dispatch delay in coordinator mode (2s)
+//	-cell-inflight N   concurrent /v1/cell executions served as a worker
+//	                   (GOMAXPROCS)
 //
 // A burst of requests beyond -max-inflight + -max-queue receives 503
 // (with Retry-After) rather than spawning unbounded worker pools; a
 // request that exceeds -timeout receives 504, and its abandoned cells are
 // not cached. On SIGINT/SIGTERM the daemon stops accepting connections
 // and drains in-flight measurements for up to -drain before exiting.
+// docs/OPERATIONS.md covers running the daemon as a service, the cache
+// directory layout, and coordinator/worker topologies.
 package main
 
 import (
@@ -70,11 +81,22 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request measurement deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (off when empty)")
+	cacheDir := flag.String("cache-dir", "", "persistent measurement cache directory (warm restarts)")
+	workers := flag.String("workers", "", "coordinator mode: comma-separated worker daemon addresses")
+	hedge := flag.Duration("hedge", 2*time.Second, "coordinator straggler re-dispatch delay")
+	cellInFlight := flag.Int("cell-inflight", 0, "concurrent /v1/cell executions as a worker (0 = GOMAXPROCS)")
 	flag.Parse()
 	scale, err := gap.ParseScale(*scaleArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ninjagapd:", err)
 		os.Exit(2)
+	}
+	if *cacheDir != "" {
+		if err := gap.SetCacheDir(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ninjagapd:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ninjagapd: persistent cache at %s\n", *cacheDir)
 	}
 
 	// Opt-in profiling endpoint, on its own listener so the debug surface
@@ -100,9 +122,16 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *timeout,
+		HedgeDelay:     *hedge,
+		CellInFlight:   *cellInFlight,
 	}
 	if *benches != "" {
 		cfg.Benches = strings.Split(*benches, ",")
+	}
+	if *workers != "" {
+		cfg.Workers = strings.Split(*workers, ",")
+		fmt.Fprintf(os.Stderr, "ninjagapd: coordinator mode, sharding cells across %d workers (hedge %v)\n",
+			len(cfg.Workers), *hedge)
 	}
 
 	srv := &http.Server{

@@ -28,12 +28,18 @@ type cellKey struct {
 	Skip       bool
 }
 
-// machineSig fingerprints a machine for memo keying. The human-readable
-// prefix (name, cores, frequency) aids debugging; the trailing
-// Machine.Fingerprint hash covers everything else that can change a
-// measurement — SIMD/issue widths, cache geometry, memory parameters,
-// features and the full cost table — so SetCost-mutated or field-edited
-// clones never collide with their base preset.
+// machineSig fingerprints a machine for memo keying. The trailing
+// Machine.Fingerprint hash alone decides identity: it covers everything
+// that can change a measurement — name, SIMD/issue widths, cache
+// geometry, memory parameters, features and the full cost table — so
+// SetCost-mutated or field-edited clones never collide with their base
+// preset. The human-readable prefix (name, cores, frequency) is
+// deliberately redundant: it is hashed along with the rest, which costs
+// nothing for correctness (the fingerprint already includes m.Name, so
+// the prefix can never make two distinct models collide or split), and
+// it is what makes persisted cache entries and coordinator shard keys
+// greppable by machine when debugging byte-diff drift — the decision is
+// documented in docs/CACHE_FORMAT.md.
 func machineSig(m *machine.Machine) string {
 	return fmt.Sprintf("%s|c%d|%.3g|%016x", m.Name, m.Cores, m.FreqGHz, m.Fingerprint())
 }
@@ -54,7 +60,18 @@ type Memo struct {
 	entries map[cellKey]*memoEntry
 	hits    atomic.Int64
 	misses  atomic.Int64
+
+	// disk is the optional persistent layer (see persist.go): consulted
+	// on a memory miss before computing, written after every successful
+	// computation. Nil means in-memory only.
+	disk atomic.Pointer[diskCache]
 }
+
+// setDisk attaches (or, with nil, detaches) a persistent layer.
+func (mo *Memo) setDisk(d *diskCache) { mo.disk.Store(d) }
+
+// getDisk returns the attached persistent layer, or nil.
+func (mo *Memo) getDisk() *diskCache { return mo.disk.Load() }
 
 // NewMemo returns an empty measurement cache.
 func NewMemo() *Memo {
@@ -68,6 +85,13 @@ func NewMemo() *Memo {
 // cache for every later request — so an entry whose computation ended in
 // cancellation is dropped, and waiters that coalesced onto it retry with
 // a fresh entry (unless their own ctx is also done).
+//
+// When a persistent layer is attached, a memory miss consults the disk
+// before computing (a warm restart serves every previously measured cell
+// from disk without touching the engine), and every fresh successful
+// computation is persisted. Errors are never persisted — real errors
+// stay process-local by design, and context errors are not even cached
+// in memory.
 func (mo *Memo) do(ctx context.Context, key cellKey, f func() (*Measurement, error)) (*Measurement, error) {
 	for {
 		mo.mu.Lock()
@@ -82,7 +106,19 @@ func (mo *Memo) do(ctx context.Context, key cellKey, f func() (*Measurement, err
 		} else {
 			mo.misses.Add(1)
 		}
-		e.once.Do(func() { e.meas, e.err = f() })
+		e.once.Do(func() {
+			disk := mo.getDisk()
+			if disk != nil {
+				if m, ok := disk.load(key); ok {
+					e.meas = m
+					return
+				}
+			}
+			e.meas, e.err = f()
+			if e.err == nil && disk != nil {
+				disk.save(key, e.meas)
+			}
+		})
 		if e.err == nil || !isContextErr(e.err) {
 			return e.meas, e.err
 		}
@@ -123,13 +159,24 @@ func (mo *Memo) Len() int {
 // measured exactly once per process.
 var sharedMemo = NewMemo()
 
-// ResetMemo clears the process-wide measurement cache. The benchmark
+// workerMemo is the process-wide cache for cells executed on behalf of a
+// coordinator (ExecuteCellSpec, behind POST /v1/cell). It is separate
+// from sharedMemo so a process that is simultaneously coordinator and
+// worker cannot deadlock its own singleflight (see ExecuteCellSpec);
+// SetCacheDir attaches the same disk layer to both, so the two still
+// share every persisted measurement.
+var workerMemo = NewMemo()
+
+// ResetMemo clears the process-wide measurement caches (both the local
+// experiment cache and the worker-side cell cache). The benchmark
 // harness calls it between iterations so memoization does not turn
 // repeated figure regenerations into cache lookups.
 func ResetMemo() {
-	sharedMemo.mu.Lock()
-	sharedMemo.entries = map[cellKey]*memoEntry{}
-	sharedMemo.mu.Unlock()
+	for _, mo := range []*Memo{sharedMemo, workerMemo} {
+		mo.mu.Lock()
+		mo.entries = map[cellKey]*memoEntry{}
+		mo.mu.Unlock()
+	}
 }
 
 // MemoStats exposes the process-wide cache statistics (hits, misses).

@@ -104,6 +104,7 @@ type Scheduler struct {
 	jobs      int
 	memo      *Memo
 	skipCheck bool
+	remote    Remote
 }
 
 // NewScheduler builds a scheduler with its own memo cache. jobs bounds
@@ -119,7 +120,9 @@ func NewScheduler(jobs int, memo *Memo, skipCheck bool) *Scheduler {
 // backed by the process-wide memo cache so cells shared between figures
 // are measured exactly once per process.
 func (c Config) scheduler() *Scheduler {
-	return NewScheduler(c.Jobs, sharedMemo, c.SkipCheck)
+	s := NewScheduler(c.Jobs, sharedMemo, c.SkipCheck)
+	s.remote = c.remote
+	return s
 }
 
 // workers resolves the pool size.
@@ -137,9 +140,31 @@ func (s *Scheduler) workers(n int) int {
 	return w
 }
 
-// measure runs one cell through the memo cache under ctx.
+// measure runs one cell through the memo cache under ctx. With a remote
+// executor configured (coordinator mode), a cache-missing cell is first
+// offered to the worker pool; any remote failure other than the
+// caller's own context expiring degrades gracefully to local execution,
+// so a dead or drained fleet never fails a run it could have computed
+// itself.
 func (s *Scheduler) measure(ctx context.Context, c Cell) (*Measurement, error) {
-	return s.memo.do(ctx, c.key(s.skipCheck), func() (*Measurement, error) {
+	key := c.key(s.skipCheck)
+	return s.memo.do(ctx, key, func() (*Measurement, error) {
+		if s.remote != nil {
+			spec, err := c.spec(s.skipCheck)
+			if err == nil {
+				m, err := s.remote.MeasureCell(ctx, spec, key.String())
+				if err == nil {
+					return m, nil
+				}
+				if ctx.Err() != nil {
+					// Report the cancellation, not the remote failure it
+					// provoked, so the memo's never-cache-context-errors
+					// rule classifies (and evicts) this entry correctly.
+					return nil, fmt.Errorf("remote measure: %w", context.Cause(ctx))
+				}
+			}
+			// Remote path failed while we are still live: fall back.
+		}
 		return measureCell(ctx, c, s.skipCheck)
 	})
 }

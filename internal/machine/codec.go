@@ -1,0 +1,74 @@
+package machine
+
+// Full-model JSON codec. The coordinator mode ships measurement cells to
+// worker daemons, and the experiments run on machines that are NOT
+// presets — WithCores/WithFeatures/SetCost clones and direct field edits
+// that keep the preset's name (which is exactly why the memo cache keys
+// on Fingerprint, not Name). A worker therefore cannot look the machine
+// up; the complete model, cost table included, must cross the wire.
+//
+// These are deliberately standalone functions rather than
+// Marshal/UnmarshalJSON methods on Machine: several experiment payloads
+// already embed machine-derived values in their JSON output, and a
+// method would silently change those encodings (and break the committed
+// golden byte-identity snapshots). The wire format is opt-in.
+//
+// Fidelity: encoding/json round-trips float64 exactly (shortest
+// representation that parses back to the same bits), so a decoded model
+// reproduces the original Fingerprint — the property the whole
+// coordinator design rests on: coordinator and worker derive the same
+// cell key from the same model.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// modelJSON is the wire shadow of Machine; it exists to expose the
+// unexported cost table.
+type modelJSON struct {
+	Name              string             `json:"name"`
+	Year              int                `json:"year"`
+	Cores             int                `json:"cores"`
+	FreqGHz           float64            `json:"freq_ghz"`
+	VecWidthF32       int                `json:"vec_width_f32"`
+	VecWidthF64       int                `json:"vec_width_f64"`
+	IssueWidth        int                `json:"issue_width"`
+	BranchMissPenalty float64            `json:"branch_miss_penalty"`
+	Caches            []CacheLevel       `json:"caches"`
+	Mem               Memory             `json:"mem"`
+	Feat              Features           `json:"feat"`
+	Costs             [NumOpClasses]Cost `json:"costs"`
+}
+
+// MarshalModel encodes the complete machine model, including the cost
+// table, for the coordinator/worker wire protocol.
+func MarshalModel(m *Machine) ([]byte, error) {
+	mj := modelJSON{
+		Name: m.Name, Year: m.Year, Cores: m.Cores, FreqGHz: m.FreqGHz,
+		VecWidthF32: m.VecWidthF32, VecWidthF64: m.VecWidthF64,
+		IssueWidth: m.IssueWidth, BranchMissPenalty: m.BranchMissPenalty,
+		Caches: m.Caches, Mem: m.Mem, Feat: m.Feat, Costs: m.costs,
+	}
+	return json.Marshal(mj)
+}
+
+// UnmarshalModel decodes a model encoded by MarshalModel and validates
+// it, so a malformed or hostile payload is rejected before it reaches
+// the execution engine.
+func UnmarshalModel(b []byte) (*Machine, error) {
+	var mj modelJSON
+	if err := json.Unmarshal(b, &mj); err != nil {
+		return nil, fmt.Errorf("machine: decoding model: %w", err)
+	}
+	m := &Machine{
+		Name: mj.Name, Year: mj.Year, Cores: mj.Cores, FreqGHz: mj.FreqGHz,
+		VecWidthF32: mj.VecWidthF32, VecWidthF64: mj.VecWidthF64,
+		IssueWidth: mj.IssueWidth, BranchMissPenalty: mj.BranchMissPenalty,
+		Caches: mj.Caches, Mem: mj.Mem, Feat: mj.Feat, costs: mj.Costs,
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("machine: decoded model invalid: %w", err)
+	}
+	return m, nil
+}

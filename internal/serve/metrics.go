@@ -51,6 +51,11 @@ type metrics struct {
 	rejected  atomic.Int64 // 503s from a full admission queue
 	timeouts  atomic.Int64 // 504s from request deadlines
 	endpoints map[string]*endpointMetrics
+
+	// pool is the coordinator's worker fleet, nil outside coordinator
+	// mode; its shard/hedge/fallback counters are reported under
+	// "coordinator".
+	pool *Pool
 }
 
 func newMetrics(routes []string) *metrics {
@@ -74,12 +79,24 @@ func (m *metrics) snapshot() ([]byte, error) {
 		Errors  int64     `json:"errors"`
 		Latency histogram `json:"latency_ms"`
 	}
+	type coordinator struct {
+		Workers     int   `json:"workers"`
+		RemoteCells int64 `json:"remote_cells"`
+		Hedged      int64 `json:"hedged_dispatches"`
+		Failures    int64 `json:"attempt_failures"`
+		Fallbacks   int64 `json:"local_fallbacks"`
+	}
 	doc := struct {
 		UptimeSeconds float64 `json:"uptime_seconds"`
 		Memo          struct {
 			Hits   int64 `json:"hits"`
 			Misses int64 `json:"misses"`
 			Size   int   `json:"size"`
+			// Disk is the persistent -cache-dir layer (all zero when
+			// detached): cells served from / written to disk.
+			DiskAttached bool  `json:"disk_attached"`
+			DiskHits     int64 `json:"disk_hits"`
+			DiskStores   int64 `json:"disk_stores"`
 		} `json:"memo"`
 		Requests struct {
 			InFlight  int64 `json:"in_flight"`
@@ -87,16 +104,23 @@ func (m *metrics) snapshot() ([]byte, error) {
 			Rejected  int64 `json:"rejected_queue_full"`
 			Timeouts  int64 `json:"timeouts"`
 		} `json:"requests"`
-		Endpoints map[string]endpoint `json:"endpoints"`
+		Coordinator *coordinator        `json:"coordinator,omitempty"`
+		Endpoints   map[string]endpoint `json:"endpoints"`
 	}{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Endpoints:     map[string]endpoint{},
 	}
 	doc.Memo.Hits, doc.Memo.Misses, doc.Memo.Size = hits, misses, gap.MemoLen()
+	doc.Memo.DiskHits, doc.Memo.DiskStores, doc.Memo.DiskAttached = gap.CacheDirStats()
 	doc.Requests.InFlight = m.inFlight.Load()
 	doc.Requests.Completed = m.completed.Load()
 	doc.Requests.Rejected = m.rejected.Load()
 	doc.Requests.Timeouts = m.timeouts.Load()
+	if m.pool != nil {
+		c := &coordinator{Workers: len(m.pool.Workers())}
+		c.RemoteCells, c.Hedged, c.Failures, c.Fallbacks = m.pool.Stats()
+		doc.Coordinator = c
+	}
 	for route, em := range m.endpoints {
 		ep := endpoint{
 			Count:  em.count.Load(),

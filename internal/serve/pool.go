@@ -1,0 +1,262 @@
+package serve
+
+// Coordinator worker pool: the HTTP implementation of gap.Remote behind
+// ninjagapd's -workers flag. The coordinator enumerates cells exactly as
+// a single process would (Scheduler.Run is unchanged); this pool decides
+// WHERE each memo-missing cell executes:
+//
+//   - Sharding is consistent hashing on the cell's canonical key over a
+//     ring with virtual nodes, so every coordinator process (and every
+//     restart) routes the same cell to the same worker — which is what
+//     makes the workers' own memo and -cache-dir caches effective — and
+//     adding or removing one worker only remaps ~1/N of the cells.
+//   - Stragglers are hedged: if the primary worker has not answered
+//     within HedgeDelay, the same cell is dispatched to the next worker
+//     on the ring and the first verified result wins. A worker that is
+//     merely slow therefore delays a cell by at most HedgeDelay, not by
+//     its own tail latency.
+//   - Failures degrade: connection errors, non-200s, undecodable or
+//     key-mismatched responses move on to the next candidate worker; when
+//     every candidate has failed the pool reports ErrNoWorkers and the
+//     scheduler runs the cell locally. A coordinator with an unreachable
+//     fleet is just a slow single-process run, never a failed one.
+//
+// Byte-identity with a single-process run holds because the response
+// payload is the persistent cache's entry codec (exact float64 round
+// trip) and the worker independently derives the cell key from the
+// shipped full machine model — any drift surfaces as a key mismatch and
+// falls back, rather than merging a wrong number into a figure.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ninjagap/internal/gap"
+)
+
+// ErrNoWorkers reports that every candidate worker failed (or none are
+// configured); the scheduler falls back to local execution.
+var ErrNoWorkers = errors.New("serve: no worker produced a result")
+
+// ringReplicas is the virtual-node count per worker on the hash ring.
+// 128 keeps the shard imbalance between workers within a few percent.
+const ringReplicas = 128
+
+// ringNode is one virtual node: a hash point owned by a worker.
+type ringNode struct {
+	hash   uint64
+	worker int // index into Pool.workers
+}
+
+// Pool is the coordinator's worker set. It implements gap.Remote.
+type Pool struct {
+	workers []string // base URLs, e.g. "http://host:8321"
+	ring    []ringNode
+	client  *http.Client
+	hedge   time.Duration
+
+	remoteCells atomic.Int64 // cells resolved by a worker
+	hedged      atomic.Int64 // hedge dispatches fired
+	failures    atomic.Int64 // per-worker attempt failures
+	fallbacks   atomic.Int64 // cells where every worker failed
+}
+
+// NewPool builds a worker pool from base URLs (scheme optional;
+// "host:port" becomes "http://host:port"). hedge is the straggler
+// re-dispatch delay; 0 means a 2s default. Returns nil when hosts is
+// empty, which callers treat as "no coordinator mode".
+func NewPool(hosts []string, hedge time.Duration) *Pool {
+	var workers []string
+	for _, h := range hosts {
+		h = strings.TrimSpace(h)
+		if h == "" {
+			continue
+		}
+		if !strings.Contains(h, "://") {
+			h = "http://" + h
+		}
+		workers = append(workers, strings.TrimRight(h, "/"))
+	}
+	if len(workers) == 0 {
+		return nil
+	}
+	if hedge <= 0 {
+		hedge = 2 * time.Second
+	}
+	p := &Pool{
+		workers: workers,
+		client:  &http.Client{},
+		hedge:   hedge,
+	}
+	for wi, w := range workers {
+		for r := 0; r < ringReplicas; r++ {
+			p.ring = append(p.ring, ringNode{hash: hash64(fmt.Sprintf("%s|vn%d", w, r)), worker: wi})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
+	return p
+}
+
+// Workers returns the pool's worker base URLs in configuration order.
+func (p *Pool) Workers() []string { return append([]string(nil), p.workers...) }
+
+// hash64 is the ring's hash function (FNV-1a, like the machine
+// fingerprint — stable across processes and Go versions, unlike maphash).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, s)
+	return h.Sum64()
+}
+
+// candidates returns the distinct workers responsible for key, primary
+// first, walking the ring clockwise from the key's hash point.
+func (p *Pool) candidates(key string) []int {
+	kh := hash64(key)
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= kh })
+	out := make([]int, 0, len(p.workers))
+	seen := make(map[int]bool, len(p.workers))
+	for n := 0; n < len(p.ring) && len(out) < len(p.workers); n++ {
+		node := p.ring[(i+n)%len(p.ring)]
+		if !seen[node.worker] {
+			seen[node.worker] = true
+			out = append(out, node.worker)
+		}
+	}
+	return out
+}
+
+// cellRequest is the POST /v1/cell body.
+type cellRequest struct {
+	Key  string       `json:"key"`
+	Spec gap.CellSpec `json:"spec"`
+}
+
+// MeasureCell implements gap.Remote: it dispatches the cell to its
+// primary worker, hedges to the next candidate after HedgeDelay, and
+// returns the first verified result. All candidates failing yields
+// ErrNoWorkers (→ local fallback in the scheduler).
+func (p *Pool) MeasureCell(ctx context.Context, spec gap.CellSpec, key string) (*gap.Measurement, error) {
+	cands := p.candidates(key)
+	if len(cands) == 0 {
+		return nil, ErrNoWorkers
+	}
+	body, err := json.Marshal(cellRequest{Key: key, Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+
+	type attempt struct {
+		m   *gap.Measurement
+		err error
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in the loser of a hedged race
+
+	results := make(chan attempt, len(cands))
+	launch := func(worker int) {
+		go func() {
+			m, err := p.tryWorker(ctx, worker, key, body)
+			results <- attempt{m, err}
+		}()
+	}
+
+	next := 0
+	launch(cands[next])
+	next++
+	inFlight := 1
+
+	hedge := time.NewTimer(p.hedge)
+	defer hedge.Stop()
+
+	var lastErr error
+	for inFlight > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		case <-hedge.C:
+			// Straggler: the oldest dispatch has not answered within the
+			// hedge deadline. Re-dispatch to the next candidate (if any)
+			// and keep both in flight — first verified result wins.
+			if next < len(cands) {
+				p.hedged.Add(1)
+				launch(cands[next])
+				next++
+				inFlight++
+				hedge.Reset(p.hedge)
+			}
+		case a := <-results:
+			inFlight--
+			if a.err == nil {
+				p.remoteCells.Add(1)
+				return a.m, nil
+			}
+			p.failures.Add(1)
+			lastErr = a.err
+			// A failed attempt frees its slot: immediately try the next
+			// untried candidate rather than waiting for the hedge timer.
+			if next < len(cands) {
+				launch(cands[next])
+				next++
+				inFlight++
+			}
+		}
+	}
+	p.fallbacks.Add(1)
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w (last: %v)", ErrNoWorkers, lastErr)
+	}
+	return nil, ErrNoWorkers
+}
+
+// tryWorker POSTs the cell to one worker and decodes + verifies the
+// response against the coordinator's key.
+func (p *Pool) tryWorker(ctx context.Context, worker int, key string, body []byte) (*gap.Measurement, error) {
+	url := p.workers[worker] + "/v1/cell"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("worker %s: %s: %s", url, resp.Status, firstLine(b))
+	}
+	return gap.DecodeCellResult(b, key)
+}
+
+// firstLine truncates an error body for wrapping.
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}
+
+// Stats reports coordinator traffic: cells resolved remotely, hedge
+// dispatches, individual attempt failures, and cells where the whole
+// fleet failed (local fallback).
+func (p *Pool) Stats() (remote, hedged, failures, fallbacks int64) {
+	return p.remoteCells.Load(), p.hedged.Load(), p.failures.Load(), p.fallbacks.Load()
+}

@@ -28,9 +28,12 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -61,6 +64,22 @@ type Config struct {
 	// RequestTimeout is the per-request deadline plumbed into cell
 	// execution (default 2 minutes).
 	RequestTimeout time.Duration
+
+	// Workers, when non-empty, puts the daemon in coordinator mode: the
+	// cell set of every experiment run is sharded across these worker
+	// daemons (base URLs or host:port) by consistent hashing on the cell
+	// key, with hedged retries and local fallback. See pool.go.
+	Workers []string
+	// HedgeDelay is the coordinator's straggler re-dispatch delay: a
+	// cell unanswered by its primary worker for this long is also sent
+	// to the next worker on the ring (default 2s).
+	HedgeDelay time.Duration
+	// CellInFlight bounds concurrently executing /v1/cell requests on a
+	// worker (default GOMAXPROCS). The per-cell bound is separate from
+	// MaxInFlight, which admits whole experiment runs: one coordinator
+	// figure fans out into many cell requests, and throttling those to
+	// MaxInFlight would starve the fleet.
+	CellInFlight int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +94,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 2 * time.Second
+	}
+	if c.CellInFlight <= 0 {
+		c.CellInFlight = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -94,9 +119,14 @@ var tableIDs = map[string]bool{"table1": true, "table2": true}
 type Server struct {
 	cfg     Config
 	sem     chan struct{}
+	cellSem chan struct{}
 	waiting atomic.Int64
 	met     *metrics
 	mux     *http.ServeMux
+
+	// pool is the coordinator's worker fleet; nil outside coordinator
+	// mode. Experiment configs route cell execution through it.
+	pool *Pool
 
 	// dispatch runs an experiment driver under ctx; a test seam,
 	// gap.Dispatch in production.
@@ -107,15 +137,18 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		cellSem: make(chan struct{}, cfg.CellInFlight),
+		pool:    NewPool(cfg.Workers, cfg.HedgeDelay),
 		dispatch: func(ctx context.Context, id string, cfg gap.Config) (gap.Output, error) {
 			return gap.Dispatch(id, cfg.WithContext(ctx))
 		},
 	}
 	s.met = newMetrics([]string{
-		"/healthz", "/metrics", "/v1/measure", "/v1/figure", "/v1/table", "/v1/snapshot",
+		"/healthz", "/metrics", "/v1/measure", "/v1/figure", "/v1/table", "/v1/snapshot", "/v1/cell",
 	})
+	s.met.pool = s.pool
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -123,6 +156,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/figure/{id}", s.instrument("/v1/figure", s.handleFigure))
 	mux.HandleFunc("GET /v1/table/{id}", s.instrument("/v1/table", s.handleTable))
 	mux.HandleFunc("GET /v1/snapshot", s.instrument("/v1/snapshot", s.handleSnapshot))
+	mux.HandleFunc("POST /v1/cell", s.instrument("/v1/cell", s.handleCell))
 	s.mux = mux
 	return s
 }
@@ -173,6 +207,11 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 // its deadline.
 func (s *Server) requestConfig(r *http.Request) (gap.Config, error) {
 	cfg := gap.Config{Scale: s.cfg.Scale, Jobs: s.cfg.Jobs, Benches: s.cfg.Benches}
+	if s.pool != nil {
+		// Coordinator mode: route this run's cell execution through the
+		// worker fleet (with local fallback per cell).
+		cfg = cfg.WithRemote(s.pool)
+	}
 	q := r.URL.Query()
 	if v := q.Get("scale"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
@@ -303,6 +342,57 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.runDriver(w, r, "bench-export")
+}
+
+// handleCell is the worker half of the coordinator protocol: it
+// executes one fully specified cell (complete machine model included —
+// coordinators measure on mutated clones no registry holds) through this
+// process's own scheduler path, so worker memo and -cache-dir caching
+// apply, and responds with the encoded cell entry. Admission is the
+// per-cell semaphore (CellInFlight), not the run semaphore: one
+// coordinator figure fans out into many cells, and those must be able
+// to fill the worker's cores.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	var req cellRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, fmt.Sprintf("bad cell request: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	select {
+	case s.cellSem <- struct{}{}:
+		defer func() { <-s.cellSem }()
+	case <-ctx.Done():
+		s.writeRunError(w, context.Cause(ctx))
+		return
+	}
+
+	// Cell execution bounded to one scheduler worker: parallelism comes
+	// from concurrent /v1/cell requests (CellInFlight of them), not from
+	// nested fan-out of a single cell.
+	entry, err := gap.ExecuteCellSpec(ctx, req.Spec, 1)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	if req.Key != "" {
+		// Cross-check the coordinator's key against our own derivation;
+		// disagreement means the two processes would file this
+		// measurement under different cells — refuse loudly.
+		if _, err := gap.DecodeCellResult(entry, req.Key); err != nil {
+			http.Error(w, fmt.Sprintf("cell key mismatch: %v", err), http.StatusConflict)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(entry)
 }
 
 // handleMeasure measures one (bench, version, machine, n, threads) cell

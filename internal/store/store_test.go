@@ -1,0 +1,166 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "bench|version|machine|c6|3.33|deadbeef|n=4096"
+	payload := []byte(`{"schema":"x","value":42}`)
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want stored payload", got, ok)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	hits, misses, puts := s.Stats()
+	if hits != 1 || misses != 1 || puts != 1 {
+		t.Fatalf("Stats = %d hits, %d misses, %d puts; want 1, 1, 1", hits, misses, puts)
+	}
+}
+
+// TestKeysAreNamespaceSafe stores keys containing path separators and
+// other filesystem-hostile characters.
+func TestKeysAreNamespaceSafe(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"a/b/../c", "..", "", "k\x00ey", "spaces and | pipes"}
+	for i, k := range keys {
+		want := []byte(fmt.Sprintf("payload-%d", i))
+		if err := s.Put(k, want); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+		got, ok := s.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Get(%q) = %q, %v", k, got, ok)
+		}
+	}
+	if n := s.Len(); n != len(keys) {
+		t.Fatalf("Len = %d, want %d", n, len(keys))
+	}
+}
+
+// TestTruncatedEntryIsMiss damages a stored entry down to zero bytes and
+// checks the store reports a miss, not an error or empty payload.
+func TestTruncatedEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("cell", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the entry on disk, behind the store's back.
+	sd, file := s.path("cell")
+	if err := os.WriteFile(filepath.Join(sd, file), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b, ok := s.Get("cell"); ok {
+		t.Fatalf("Get on truncated entry = %q, true; want miss", b)
+	}
+}
+
+// TestUnreadableDirIsMiss points a store at a key whose shard directory
+// is a plain file, so every read fails; all failures must be misses.
+func TestUnreadableDirIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := s.path("k")
+	if err := os.WriteFile(sd, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Get through a clobbered shard dir reported a hit")
+	}
+	if err := s.Put("k", []byte("v")); err == nil {
+		t.Fatal("Put through a clobbered shard dir succeeded")
+	}
+}
+
+// TestConcurrentWritersSameKey hammers one key from many goroutines.
+// Atomic rename means a reader can only ever observe one of the complete
+// payloads, never a torn mix.
+func TestConcurrentWritersSameKey(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 16
+	payloads := make([][]byte, writers)
+	for i := range payloads {
+		payloads[i] = bytes.Repeat([]byte{byte('a' + i)}, 4096)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(p []byte) {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 20; j++ {
+				if err := s.Put("contended", p); err != nil {
+					t.Error(err)
+					return
+				}
+				if b, ok := s.Get("contended"); ok {
+					if len(b) != 4096 || bytes.Count(b, b[:1]) != 4096 {
+						t.Errorf("torn read: %d bytes, first=%q", len(b), b[:1])
+						return
+					}
+				}
+			}
+		}(payloads[i])
+	}
+	close(start)
+	wg.Wait()
+	got, ok := s.Get("contended")
+	if !ok || len(got) != 4096 {
+		t.Fatalf("final Get = %d bytes, %v", len(got), ok)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1 (no leaked temp files)", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Get after Delete reported a hit")
+	}
+	s.Delete("never-stored") // must not panic
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

@@ -130,6 +130,18 @@ var (
 	MemoLen      = gap.MemoLen
 )
 
+// SetCacheDir attaches a persistent on-disk measurement cache to the
+// process-wide memo (warm restarts: cells measured by earlier processes
+// sharing the directory are served from disk, never re-simulated);
+// CacheDirStats reports its traffic and FormatMemoStats renders the
+// one-line summary the CLI prints. See docs/CACHE_FORMAT.md for the
+// entry format and invalidation rules.
+var (
+	SetCacheDir     = gap.SetCacheDir
+	CacheDirStats   = gap.CacheDirStats
+	FormatMemoStats = gap.FormatMemoStats
+)
+
 // Output is a driver's renderable output (text, JSON data, optional CSV);
 // Dispatch runs any experiment driver by ID ("table1", "fig1".."fig8",
 // "ablate", "bench-export") and DriverIDs lists them in `all` order.
