@@ -27,6 +27,10 @@
 //	             earlier run sharing D are served from disk (see
 //	             docs/OPERATIONS.md); prints a cache-traffic summary
 //	             to stderr after the run
+//	-macroblock M  macro-block engine mode: on, off, or auto (default
+//	             auto). Output is bit-identical across modes; the flag
+//	             exists for byte-diff validation and simulator-
+//	             performance work
 //	-cpuprofile FILE  write a CPU profile of the whole run
 //	-memprofile FILE  write a heap profile at exit
 //	-bench list  comma-separated benchmark subset
@@ -72,7 +76,14 @@ func main() {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to `file`")
 	cacheDir := fs.String("cache-dir", "", "persistent measurement cache directory (warm restarts)")
+	macroblock := fs.String("macroblock", "auto", "macro-block engine mode: on, off, or auto (bit-identical output; wall-clock only)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	switch *macroblock {
+	case "on", "off", "auto", "":
+	default:
+		fmt.Fprintf(os.Stderr, "ninjagap: invalid -macroblock mode %q (want on, off or auto)\n", *macroblock)
 		os.Exit(2)
 	}
 	scale, err := ninjagap.ParseScale(*scaleArg)
@@ -119,7 +130,7 @@ func main() {
 		}()
 	}
 
-	cfg := ninjagap.Config{Scale: scale, Jobs: *jobs}
+	cfg := ninjagap.Config{Scale: scale, Jobs: *jobs, Macroblock: *macroblock}
 	if *benches != "" {
 		cfg.Benches = strings.Split(*benches, ",")
 	}
@@ -328,5 +339,6 @@ commands: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablate all
           bench-export engine-bench run list
 flags:    -scale F|smoke|small|medium|full  -bench a,b,c  -jobs N  -json
           -format text|json|csv  -out FILE  -machine M  -version V  -n N
-          -cache-dir DIR  -cpuprofile FILE  -memprofile FILE`)
+          -cache-dir DIR  -macroblock on|off|auto  -cpuprofile FILE
+          -memprofile FILE`)
 }

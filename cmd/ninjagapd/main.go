@@ -85,7 +85,14 @@ func main() {
 	workers := flag.String("workers", "", "coordinator mode: comma-separated worker daemon addresses")
 	hedge := flag.Duration("hedge", 2*time.Second, "coordinator straggler re-dispatch delay")
 	cellInFlight := flag.Int("cell-inflight", 0, "concurrent /v1/cell executions as a worker (0 = GOMAXPROCS)")
+	macroblock := flag.String("macroblock", "auto", "macro-block engine mode: on, off, or auto (bit-identical output; wall-clock only)")
 	flag.Parse()
+	switch *macroblock {
+	case "on", "off", "auto", "":
+	default:
+		fmt.Fprintf(os.Stderr, "ninjagapd: invalid -macroblock mode %q (want on, off or auto)\n", *macroblock)
+		os.Exit(2)
+	}
 	scale, err := gap.ParseScale(*scaleArg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ninjagapd:", err)
@@ -124,6 +131,7 @@ func main() {
 		RequestTimeout: *timeout,
 		HedgeDelay:     *hedge,
 		CellInFlight:   *cellInFlight,
+		Macroblock:     *macroblock,
 	}
 	if *benches != "" {
 		cfg.Benches = strings.Split(*benches, ",")

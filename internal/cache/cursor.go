@@ -1,0 +1,149 @@
+package cache
+
+// LineCursor is a one-line fast path over AccessCost for strided replay:
+// it caches the L1 way that served the last touch of one address stream so
+// repeated touches of the same line skip the set probe and the prefetcher
+// table entirely. The fast path fires only when its effects are provably
+// identical to AccessCost's L1-hit-with-prefetcher-skip branch; every other
+// situation (line crossing, eviction, prefetched line, prefetcher state that
+// would advance) falls back to AccessCost itself, so simulated statistics,
+// replacement state and DRAM traffic stay bit-identical to per-access
+// simulation. The macro-block replay engine re-probes through the fallback
+// exactly at cache-geometry boundaries: line crossings invalidate the cached
+// way, page crossings and stream advances fail the prefetcher check.
+type LineCursor struct {
+	lineAddr uint64
+	tag      uint64
+	way      *line
+	valid    bool
+	// miss counts consecutive general-path touches. Streams that never
+	// qualify for the fast path (several distinct lines alternating on one
+	// page keep the prefetcher advancing, so pfWouldSkip never holds) stop
+	// paying the reseat probe after a few misses and retry only rarely;
+	// the cursor then costs two compares over a bare AccessCost call.
+	miss uint8
+}
+
+// Invalidate forgets the cached way; the next touch takes the general path.
+func (c *LineCursor) Invalidate() { c.valid = false }
+
+// pfWouldSkip reports whether AccessCost would skip the prefetcher update
+// for addr: no prefetcher at all, or the addr's page stream is in the
+// direct-mapped stream cache and addr stays on the stream's current line
+// (observe would compute a zero delta and return without touching state).
+func (h *Hierarchy) pfWouldSkip(addr uint64) bool {
+	pf := h.pf
+	if pf == nil {
+		return true
+	}
+	if pf.lineShift == 0 {
+		return false
+	}
+	s := pf.cachedStream(addr >> 12)
+	return s != nil && addr>>pf.lineShift == s.lastLine
+}
+
+// TouchLine performs one demand access to lineAddr (a line-aligned address)
+// through cur. Side effects and the returned (level, latency) pair are
+// bit-identical to AccessCost(lineAddr, write).
+func (h *Hierarchy) TouchLine(cur *LineCursor, lineAddr uint64, write bool) (Level, float64) {
+	if cur.valid && lineAddr == cur.lineAddr {
+		l0 := h.levels[0]
+		w := cur.way
+		// The cached way must still hold this line as a demand-claimed
+		// (non-prefetch) resident, and the prefetcher must be in the state
+		// AccessCost skips; then an access is exactly: one L1 probe that
+		// hits, refreshes LRU, and dirties on write.
+		if w.gen == l0.gen && w.tag == cur.tag && !w.prefetch && h.pfWouldSkip(lineAddr) {
+			cur.miss = 0
+			l0.stats.Accesses++
+			l0.clock++
+			w.lastUse = l0.clock
+			if write {
+				w.dirty = true
+			}
+			l0.stats.Hits++
+			return L1, l0.latency
+		}
+	}
+	lvl, lat := h.AccessCost(lineAddr, write)
+	cur.miss++
+	if cur.miss < 16 || cur.miss&127 == 0 {
+		cur.reseat(h, lineAddr)
+	} else {
+		cur.valid = false
+	}
+	return lvl, lat
+}
+
+// RunTouch pairs a cursor with its access kind for TouchRun.
+type RunTouch struct {
+	Cur   *LineCursor
+	Write bool
+}
+
+// TouchRun advances the hierarchy by n identical iterations of the touch
+// sequence ts — the per-iteration demand touches of a replay stretch in
+// which every access stays on its cursor's current line. It applies only
+// when every touch of every iteration would take the TouchLine fast path,
+// which it can verify up front: the fast path mutates nothing the fast-path
+// preconditions read (generations, tags, prefetch bits, prefetcher streams),
+// so preconditions that hold before the first touch hold for all n
+// iterations. The aggregate effect is then computed in closed form, exactly
+// equal to the n*len(ts) sequential touches:
+//
+//   - per-level counters: n*len(ts) L1 accesses, all hits, n*len(ts) clock
+//     ticks — integer adds, order-free;
+//   - LRU timestamps: touch i of the final iteration is overall touch
+//     (n-1)*len(ts)+i+1, so each way's lastUse is set to its final
+//     sequential value (ways shared by several touches resolve last-wins in
+//     ascending touch order, as sequential execution would);
+//   - dirty bits: idempotent, set once per written way.
+//
+// Returns false (having mutated nothing) when any precondition fails; the
+// caller falls back to per-touch TouchLine.
+func (h *Hierarchy) TouchRun(ts []RunTouch, n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	l0 := h.levels[0]
+	for i := range ts {
+		c := ts[i].Cur
+		if !c.valid {
+			return false
+		}
+		w := c.way
+		if w.gen != l0.gen || w.tag != c.tag || w.prefetch || !h.pfWouldSkip(c.lineAddr) {
+			return false
+		}
+	}
+	e, cnt := uint64(len(ts)), uint64(n)
+	l0.stats.Accesses += e * cnt
+	l0.stats.Hits += e * cnt
+	last := l0.clock + (cnt-1)*e
+	for i := range ts {
+		w := ts[i].Cur.way
+		w.lastUse = last + uint64(i) + 1
+		if ts[i].Write {
+			w.dirty = true
+		}
+	}
+	l0.clock += e * cnt
+	return true
+}
+
+// reseat points the cursor at lineAddr's L1 way after a general access
+// installed (or refreshed) the line.
+func (cur *LineCursor) reseat(h *Hierarchy, lineAddr uint64) {
+	l0 := h.levels[0]
+	set, tag := l0.index(lineAddr)
+	cur.lineAddr, cur.tag, cur.valid = lineAddr, tag, false
+	ways := l0.ways(set)
+	for i := range ways {
+		if ways[i].gen == l0.gen && ways[i].tag == tag {
+			cur.way = &ways[i]
+			cur.valid = true
+			return
+		}
+	}
+}

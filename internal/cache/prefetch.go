@@ -25,7 +25,10 @@ type prefetcher struct {
 }
 
 // streamSlots sizes the resolved-stream cache (must be a power of two).
-const streamSlots = 4
+// Sixteen slots keep every live stream of the widest shipped kernels (a
+// handful of arrays, each one stream per touched page) resolved without
+// map lookups on the demand path.
+const streamSlots = 16
 
 type stream struct {
 	lastLine  uint64

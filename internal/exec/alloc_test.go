@@ -1,0 +1,56 @@
+package exec
+
+import (
+	"testing"
+
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// allocProbeProg builds a program that drives every slow memory path —
+// strided vector load and store, gather, scatter, and a masked vector tail —
+// over n iterations.
+func allocProbeProg(n int64) (*vm.Prog, func() map[string]*vm.Array) {
+	b := vm.NewBuilder("allocprobe")
+	src := b.Array("src", 4)
+	dst := b.Array("dst", 4)
+	i := b.VecLoop(0, n)
+	two := b.Const(2)
+	base := b.ScalarAddr2(vm.OpMul, i, two)
+	v := b.Load(src, base, 2) // memSmall strided load
+	b.Store(dst, v, base, 2)  // memSmall strided store
+	g := b.Gather(src, i)     // per-lane gather
+	b.Scatter(dst, g, i)      // per-lane scatter
+	b.End()
+	prog := b.MustBuild()
+	mk := func() map[string]*vm.Array {
+		return map[string]*vm.Array{
+			"src": vm.NewArray("src", 4, int(2*n+16)),
+			"dst": vm.NewArray("dst", 4, int(2*n+16)),
+		}
+	}
+	return prog, mk
+}
+
+// TestSlowMemoryPathAllocs guards the slow memory paths against per-access
+// allocations: simulating a problem 32x larger must not allocate more than
+// a run of the small problem plus a small constant (per-run fixed overhead
+// only). The distinct-line scratch lives on threadCtx precisely so these
+// paths never allocate per lane or per iteration.
+func TestSlowMemoryPathAllocs(t *testing.T) {
+	m := machine.WestmereX980()
+	run := func(n int64) float64 {
+		prog, mk := allocProbeProg(n)
+		arrays := mk()
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(prog, arrays, m, Options{Threads: 1, Macroblock: "off"}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := run(64)
+	big := run(64 * 32)
+	if big > small+32 {
+		t.Errorf("slow memory paths allocate per access: %.0f allocs at n=64 vs %.0f at n=2048", small, big)
+	}
+}

@@ -52,19 +52,48 @@ func (t *threadCtx) loopRange(bi *bInstr, lo, hi int64) {
 }
 
 // vecLoopRange runs a vector loop: induction lane l = base + l, stepping by
-// W, with a masked tail.
+// W, with a masked tail. When the loop carries a macro-block plan and the
+// entry qualifies (full mask, enough full-vector trips), the replay engine
+// covers a prefix of the iterations analytically — bit-identical to
+// interpretation — and the loop below continues from wherever replay
+// stopped (the masked tail, a bounds fault, or an aliasing bailout).
 func (t *threadCtx) vecLoopRange(bi *bInstr, lo, hi int64, unroll int) {
 	W := int64(t.e.W)
 	d := t.reg(bi.dst)
-	trip := 0
-	for base := lo; base < hi; base += W {
+	trip := int64(0)
+	start := lo
+	if p := bi.plan; p != nil && t.err == nil && t.mask == t.e.wMask {
+		if F := (hi - lo) / W; F >= t.e.mbMinTrip {
+			// Auto mode skips entries that cannot pay for themselves: too
+			// little covered work, or a plan that has repeatedly proven
+			// unable to cover anything (see mbAutoMinWork/mbMaxZeroRuns).
+			ok := true
+			if t.e.mbAuto &&
+				(uint64(F)*p.perIterDyn < mbAutoMinWork ||
+					p.zeroRuns.Load() >= mbMaxZeroRuns) {
+				ok = false
+			}
+			if ok {
+				k := t.replay(p, lo, F)
+				if k == 0 {
+					p.zeroRuns.Add(1)
+				} else {
+					p.zeroRuns.Store(0)
+					mbCoverage.Add(uint64(k))
+				}
+				start = lo + k*W
+				trip = k
+			}
+		}
+	}
+	for base := start; base < hi; base += W {
 		if t.err != nil {
 			return
 		}
 		for l := int64(0); l < int64(vm.MaxLanes); l++ {
 			d[l] = float64(base + l)
 		}
-		if trip%unroll == 0 {
+		if trip%int64(unroll) == 0 {
 			t.cost.add(bi.ch)
 			t.cost.add(bi.chB)
 		}

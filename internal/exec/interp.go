@@ -25,7 +25,14 @@ type threadCtx struct {
 	hier      *cache.Hierarchy
 	lastDRAM  uint64
 	err       error
-	whileIter uint64 // runaway-loop guard
+	whileIter uint64    // runaway-loop guard
+	mb        mbScratch // macro-block replay scratch (see replay.go)
+	// memLines is the distinct-line scratch of the slow memory paths
+	// (slowLoad/slowStore/gather/scatter). Living on the context, it is
+	// neither re-zeroed nor re-allocated per access — the paths track the
+	// valid prefix themselves. Sized for the widest user: a small-stride
+	// vector access touching up to two lines per lane.
+	memLines [2 * vm.MaxLanes]uint64
 }
 
 const maxWhileIters = 1 << 32

@@ -1,0 +1,711 @@
+package exec
+
+// Macro-block planning: bind-time classification of vector-loop bodies into
+// replayable form. A loop qualifies when its body is straight-line,
+// side-effect-regular code: lanewise arithmetic, unit-stride vector loads
+// and stores whose base addresses come from scalar (induction-affine)
+// address chains, and at most a few carried accumulators of the
+// FMA-reduction shape. For a qualifying loop the engine skips per-dynamic-
+// instruction interpretation and replays blocks of iterations analytically
+// (see replay.go), with the plan built here carrying everything the replay
+// needs: the per-iteration constant cost vector, the order-sensitive stall
+// tape, the scalar address tape, the memory events, and the vertical
+// functional tape.
+//
+// Bit-identity contract: replay must reproduce interpretation exactly —
+// simulated cycles, port pressure, cache and prefetcher state, DRAM
+// traffic, array contents and final registers. The classifier therefore
+// rejects anything whose replayed evaluation could differ from the
+// interpreter's (loop-carried reads outside the fold shape, masked or
+// strided memory, data-dependent control), and the plan validates that
+// every bulk-accumulated port occupancy is a non-negative multiple of 1/4
+// (true of every shipped cost table), which makes the closed-form
+// count-times-occupancy products exactly equal to the interpreter's
+// sequential sums in IEEE double arithmetic. The stall accumulator has no
+// such property (carried-stall values are not dyadic), so stalls are never
+// bulk-accumulated: the stall tape replays them add-by-add in body order.
+
+import (
+	"math"
+	"sync/atomic"
+
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// mbBlock is the replay block size in full-vector iterations: large enough
+// to amortize per-block bookkeeping, small enough that the per-block scratch
+// (slot columns, recorded bases) stays cache-resident.
+const mbBlock = 64
+
+// Register classes tracked during body classification. A register's class
+// can change as the walk crosses writes; reads always use the class in
+// effect at the read's body position.
+type regClass uint8
+
+const (
+	rcInvariant regClass = iota // not written in the body: pre-loop value
+	rcInduction                 // the loop induction register
+	rcUniform                   // written by an iteration-independent op
+	rcScalar                    // scalar address-tape value (affine in k)
+	rcVector                    // per-iteration vector value (block slot)
+	rcFold                      // carried accumulator (FMA-reduction shape)
+)
+
+// Operand source kinds for replayed vector instructions.
+const (
+	maReg  uint8 = iota // register file, lane-indexed (invariant or uniform)
+	maSlot              // block slot column
+	maInd               // induction: value lo + k*W + l
+)
+
+type mArg struct {
+	kind uint8
+	idx  int32 // register-file offset (maReg) or slot index (maSlot)
+}
+
+// constCol maps a loop-constant register to its dedicated slot column.
+type constCol struct {
+	reg  int32 // register-file offset
+	slot int32
+}
+
+// sArg is a scalar-tape operand: lane 0 of a register, or the induction
+// value of the current iteration.
+type sArg struct {
+	ind bool
+	off int32
+}
+
+// p1Step is one entry of the per-iteration address pass, in body order:
+// either a scalar tape op (evaluated on lane 0 of the register file, exactly
+// as the interpreter's w==1 path would) or a memory-event base capture
+// (bounds check plus base record). Keeping captures at their body position
+// makes the pass correct even when a later tape op overwrites a register an
+// earlier memory instruction used as its base.
+type p1Step struct {
+	capture bool
+	op      vm.Op // OpAdd, OpSub or OpMul when !capture
+	a, b    sArg
+	dst     int32 // register-file offset (lane 0)
+	mem     int32 // event index when capture
+}
+
+// stallEv is one entry of the order-sensitive stall tape: a constant
+// carried-stall addition, or the demand touches of one memory event.
+type stallEv struct {
+	stall float64
+	mem   int32 // -1 for constant entries
+}
+
+// vStep is one entry of the vertical functional pass, in body order.
+type vStep struct {
+	kind uint8 // vsOp, vsLoad, vsStore, vsFold
+	idx  int32
+}
+
+const (
+	vsOp uint8 = iota
+	vsLoad
+	vsStore
+	vsFold
+)
+
+// vOp is one vertical vector instruction: evaluated for every (iteration,
+// lane) element of the block into its destination slot column.
+type vOp struct {
+	op      vm.Op
+	a, b, c mArg
+	slot    int32
+}
+
+// mbFold is one carried accumulator update (FMA with Dst == C), applied
+// iteration-by-iteration onto the register file so the lanewise addition
+// order matches interpretation exactly.
+type mbFold struct {
+	a, b mArg
+	dst  int32 // register-file offset of the accumulator
+}
+
+// conflictPair names two memory events on the same array, at least one a
+// store, whose per-block access intervals must be disjoint for the
+// vertical pass to be value-correct. (A store overlapping itself across
+// iterations is fine: the vertical pass writes rows in ascending iteration
+// order, so last-write-wins is preserved.)
+type conflictPair struct {
+	a, b int32
+}
+
+// mbMem is one unit-stride vector memory event.
+type mbMem struct {
+	bi    *bInstr
+	write bool
+	base  sArg
+	slot  int32 // load destination slot (-1 for stores)
+	src   mArg  // store source
+	align bool  // load pays the realign charge when base % W != 0
+}
+
+// macroPlan is the complete bind-time compilation of one eligible loop body.
+type macroPlan struct {
+	W      int
+	indOff int32 // induction register-file offset
+
+	uniform []*bInstr // evaluated once per replay entry, body order
+	p1      []p1Step
+	stall   []stallEv
+	vsteps  []vStep
+	vops    []vOp
+	folds   []mbFold
+	mem     []mbMem
+
+	conflicts []conflictPair
+	usesInd   bool // some vector operand reads the induction directly
+
+	// affine is set when every scalar-tape step is structurally affine in
+	// the induction (degree <= 1: no ind*ind products). Replay then probes
+	// the tape at two points per entry, validates exactness (integral
+	// values, bounded magnitude) and runs the closed-form fast path; the
+	// probe falling through leaves the generic per-iteration pass intact.
+	affine bool
+	// tapeIns lists the distinct register-file offsets the tape reads that
+	// are not tape-written (loop invariants / uniforms), for the replay-time
+	// integrality check backing the closed-form base exactness argument.
+	tapeIns []int32
+	// constStalls holds the stall tape's constant entries in body order, so
+	// bulk-advanced stretches can replay the per-iteration stall additions
+	// without walking the mixed tape.
+	constStalls []float64
+	// constCols pairs each distinct invariant/uniform register read by a
+	// vector op with a dedicated slot column, tiled once per replay entry —
+	// those registers cannot change inside the loop (the carried-read check
+	// rejects any read preceding a later write), so per-op tiling would
+	// rebuild the same column every block.
+	constCols []constCol
+
+	// zeroRuns counts consecutive replay entries that covered zero
+	// iterations (shared across worker threads). Auto mode stops trying a
+	// plan once it reaches mbMaxZeroRuns; any covering entry resets it.
+	zeroRuns atomic.Int32
+
+	nSlots int
+
+	// finalReg/finalSlot pair registers written by vector ops with the slot
+	// holding their last-written value, for end-of-replay finalization.
+	finalReg  []int32
+	finalSlot []int32
+
+	// Per-iteration constant charges: every port/dyn/flops/class charge the
+	// interpreter would issue for one full-vector iteration, except the
+	// stall accumulator (stall tape) and the alignment-dependent load
+	// realign charge (counted per block from captured bases).
+	perIterPort    [machine.NumPorts]float64
+	perIterDyn     uint64
+	perIterFlops   uint64
+	perIterClasses [machine.NumOpClasses]uint64
+
+	// Loop-head charges, issued once per unroll group.
+	headCh, headChB chargeRow
+	unroll          int64
+
+	// alignRow is the realign charge shared by every unit load (its chB).
+	alignRow chargeRow
+	hasAlign bool
+}
+
+// dyadicOcc reports whether an occupancy can be bulk-accumulated exactly:
+// a non-negative multiple of 1/4 small enough that every partial sum and
+// count-times-occupancy product stays exactly representable.
+func dyadicOcc(x float64) bool {
+	q := x * 4
+	return q >= 0 && q <= 1<<30 && q == math.Trunc(q)
+}
+
+// uniformEvalOK reports whether evalUniform (replay.go) implements op.
+func uniformEvalOK(op vm.Op) bool {
+	switch op {
+	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMin, vm.OpMax,
+		vm.OpNeg, vm.OpAbs, vm.OpFloor, vm.OpSqrt, vm.OpRsqrt, vm.OpRcp,
+		vm.OpExp, vm.OpLog, vm.OpSin, vm.OpCos, vm.OpFMA,
+		vm.OpCmpLT, vm.OpCmpLE, vm.OpCmpGT, vm.OpCmpGE, vm.OpCmpEQ, vm.OpCmpNE,
+		vm.OpAndM, vm.OpOrM, vm.OpNotM, vm.OpBlend,
+		vm.OpConst, vm.OpIota, vm.OpCopy, vm.OpBroadcast, vm.OpMaskMov:
+		return true
+	}
+	return false
+}
+
+// verticalOK reports whether the vertical pass implements op.
+func verticalOK(op vm.Op) bool {
+	switch op {
+	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMin, vm.OpMax,
+		vm.OpNeg, vm.OpAbs, vm.OpFloor, vm.OpSqrt, vm.OpRsqrt, vm.OpRcp,
+		vm.OpExp, vm.OpLog, vm.OpSin, vm.OpCos, vm.OpFMA,
+		vm.OpCmpLT, vm.OpCmpLE, vm.OpCmpGT, vm.OpCmpGE, vm.OpCmpEQ, vm.OpCmpNE,
+		vm.OpAndM, vm.OpOrM, vm.OpNotM, vm.OpBlend:
+		return true
+	}
+	return false
+}
+
+// instrOperands returns the registers an op reads (as register-file offsets)
+// and whether it writes its dst. ok is false for ops the planner cannot
+// model at all.
+func instrOperands(bi *bInstr) (reads [3]int32, nr int, writes bool, ok bool) {
+	switch bi.op {
+	case vm.OpNop:
+		return reads, 0, false, true
+	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpMin, vm.OpMax,
+		vm.OpCmpLT, vm.OpCmpLE, vm.OpCmpGT, vm.OpCmpGE, vm.OpCmpEQ, vm.OpCmpNE,
+		vm.OpAndM, vm.OpOrM:
+		reads[0], reads[1] = int32(bi.a), int32(bi.b)
+		return reads, 2, true, true
+	case vm.OpFMA, vm.OpBlend:
+		reads[0], reads[1], reads[2] = int32(bi.a), int32(bi.b), int32(bi.c)
+		return reads, 3, true, true
+	case vm.OpNeg, vm.OpAbs, vm.OpFloor, vm.OpSqrt, vm.OpRsqrt, vm.OpRcp,
+		vm.OpExp, vm.OpLog, vm.OpSin, vm.OpCos, vm.OpNotM,
+		vm.OpCopy, vm.OpBroadcast:
+		reads[0] = int32(bi.a)
+		return reads, 1, true, true
+	case vm.OpConst, vm.OpIota, vm.OpMaskMov:
+		return reads, 0, true, true
+	case vm.OpLoad:
+		reads[0] = int32(bi.a)
+		return reads, 1, true, true
+	case vm.OpStore:
+		reads[0], reads[1] = int32(bi.a), int32(bi.b)
+		return reads, 2, false, true
+	}
+	return reads, 0, false, false
+}
+
+// planLoop attempts to build a macro-block plan for the vector loop at arena
+// index li. It returns nil when the body is ineligible; the loop then runs
+// through the ordinary interpreter.
+func (e *engine) planLoop(fp *vm.FlatProg, bp *boundProg, li int32) *macroPlan {
+	loop := &bp.instrs[li]
+	sh := fp.LoopShape(li)
+	if !sh.StraightLine || sh.Irregular {
+		return nil
+	}
+	span := loop.body
+	n := int(span.End - span.Start)
+	if n == 0 || e.W < 2 {
+		return nil
+	}
+	body := bp.instrs[span.Start:span.End]
+
+	// Pass A: write/read positions per register, for the loop-carried-read
+	// check and fold validation.
+	type regInfo struct {
+		wmax   int32 // highest write position, -1 if never written
+		writes int32
+		reads  int32
+		read1  int32 // position of the sole read (valid when reads == 1)
+	}
+	info := map[int32]*regInfo{}
+	get := func(off int32) *regInfo {
+		ri := info[off]
+		if ri == nil {
+			ri = &regInfo{wmax: -1, read1: -1}
+			info[off] = ri
+		}
+		return ri
+	}
+	for pos := range body {
+		bi := &body[pos]
+		reads, nr, writes, ok := instrOperands(bi)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < nr; i++ {
+			ri := get(reads[i])
+			ri.reads++
+			ri.read1 = int32(pos)
+		}
+		if writes {
+			ri := get(int32(bi.dst))
+			ri.writes++
+			if int32(pos) > ri.wmax {
+				ri.wmax = int32(pos)
+			}
+		}
+	}
+
+	// A fold is an FMA accumulating into its own C operand whose accumulator
+	// is touched by nothing else in the body: read once (by the fold itself)
+	// and written once (by the fold itself). Replaying it per-iteration on
+	// the register file preserves the exact carried addition order.
+	isFold := func(pos int, bi *bInstr) bool {
+		if bi.op != vm.OpFMA || bi.w != e.W || bi.dst != bi.c {
+			return false
+		}
+		ri := info[int32(bi.dst)]
+		return ri != nil && ri.writes == 1 && ri.wmax == int32(pos) &&
+			ri.reads == 1 && ri.read1 == int32(pos)
+	}
+
+	p := &macroPlan{
+		W:       e.W,
+		indOff:  int32(loop.dst),
+		headCh:  loop.ch,
+		headChB: loop.chB,
+		unroll:  int64(loop.unroll),
+	}
+	if !dyadicOcc(loop.ch.occ) || !dyadicOcc(loop.chB.occ) {
+		return nil
+	}
+
+	numRegs := e.prog.NumRegs
+	classes := make([]regClass, numRegs)
+	slotOf := make([]int32, numRegs)
+	classes[loop.dst/vm.MaxLanes] = rcInduction
+
+	classOf := func(off int32) regClass { return classes[int(off)/vm.MaxLanes] }
+	setClass := func(off int32, c regClass) { classes[int(off)/vm.MaxLanes] = c }
+
+	// markWrite rejects a register written under two different classes.
+	// Replay evaluates each class's writes in a different pass (uniforms at
+	// entry, tape per iteration, vectors into slots), so a register shared
+	// across classes would not end each iteration with the interpreter's
+	// last-write-wins value.
+	written := make([]uint8, numRegs)
+	markWrite := func(off int32, c regClass) bool {
+		r := int(off) / vm.MaxLanes
+		if w := written[r]; w != 0 && regClass(w-1) != c {
+			return false
+		}
+		written[r] = uint8(c) + 1
+		return true
+	}
+
+	// charge mirrors the interpreter's constant per-iteration accounting for
+	// one body instruction; extra chB covers the FMA-without-hardware add.
+	charge := func(bi *bInstr, withChB bool) bool {
+		if !dyadicOcc(bi.ch.occ) {
+			return false
+		}
+		p.perIterPort[bi.ch.port] += bi.ch.occ
+		p.perIterDyn++
+		p.perIterClasses[bi.ch.class]++
+		if withChB {
+			if !dyadicOcc(bi.chB.occ) {
+				return false
+			}
+			p.perIterPort[bi.chB.port] += bi.chB.occ
+			p.perIterDyn++
+			p.perIterClasses[bi.chB.class]++
+		}
+		act := 1
+		if bi.w > 1 {
+			act = e.W
+		}
+		p.perIterFlops += uint64(bi.flopsMul * act)
+		return true
+	}
+	constStall := func(v float64) {
+		if v != 0 {
+			p.stall = append(p.stall, stallEv{stall: v, mem: -1})
+		}
+	}
+	newSlot := func(off int32) int32 {
+		s := int32(p.nSlots)
+		p.nSlots++
+		slotOf[int(off)/vm.MaxLanes] = s
+		setClass(off, rcVector)
+		return s
+	}
+	constSlotOf := map[int32]int32{}
+	vecArg := func(off int32) (mArg, bool) {
+		switch classOf(off) {
+		case rcInvariant, rcUniform:
+			s, seen := constSlotOf[off]
+			if !seen {
+				s = int32(p.nSlots)
+				p.nSlots++
+				constSlotOf[off] = s
+				p.constCols = append(p.constCols, constCol{reg: off, slot: s})
+			}
+			return mArg{kind: maSlot, idx: s}, true
+		case rcVector:
+			return mArg{kind: maSlot, idx: slotOf[int(off)/vm.MaxLanes]}, true
+		case rcInduction:
+			p.usesInd = true
+			return mArg{kind: maInd}, true
+		}
+		return mArg{}, false
+	}
+	scalArg := func(off int32) (sArg, bool) {
+		switch classOf(off) {
+		case rcInvariant, rcUniform, rcScalar:
+			return sArg{off: off}, true
+		case rcInduction:
+			return sArg{ind: true}, true
+		}
+		return sArg{}, false
+	}
+
+	// Pass B: classify every instruction in body order.
+	for pos := range body {
+		bi := &body[pos]
+		if bi.op == vm.OpNop {
+			continue
+		}
+		fold := isFold(pos, bi)
+		reads, nr, writes, _ := instrOperands(bi)
+
+		// Loop-carried read check: a register read here must not be written
+		// at this or any later body position (conservatively, a register
+		// both read and written by one instruction is treated as carried).
+		// The fold accumulator's self-read is the one sanctioned exception.
+		for i := 0; i < nr; i++ {
+			if fold && i == 2 {
+				continue
+			}
+			if ri := info[reads[i]]; ri != nil && ri.wmax >= int32(pos) {
+				return nil
+			}
+		}
+		// The induction register must stay the loop's own.
+		if writes && classOf(int32(bi.dst)) == rcInduction {
+			return nil
+		}
+
+		switch bi.op {
+		case vm.OpLoad, vm.OpStore:
+			if bi.memKind != memUnit || bi.stride != 1 || bi.w != e.W ||
+				bi.eb > uint64(e.lineBytes) || bi.revPermute {
+				return nil
+			}
+			write := bi.op == vm.OpStore
+			baseOff := int32(bi.a)
+			var srcArg mArg
+			if write {
+				baseOff = int32(bi.b)
+				var ok bool
+				srcArg, ok = vecArg(int32(bi.a))
+				if !ok {
+					return nil
+				}
+			}
+			base, ok := scalArg(baseOff)
+			if !ok {
+				return nil
+			}
+			ev := mbMem{bi: bi, write: write, base: base, slot: -1, src: srcArg,
+				align: !write && bi.alignCheck}
+			if ev.align {
+				if !dyadicOcc(bi.chB.occ) {
+					return nil
+				}
+				p.alignRow = bi.chB
+				p.hasAlign = true
+			}
+			mi := int32(len(p.mem))
+			if !write {
+				if !markWrite(int32(bi.dst), rcVector) {
+					return nil
+				}
+				ev.slot = newSlot(int32(bi.dst))
+			}
+			p.mem = append(p.mem, ev)
+			p.p1 = append(p.p1, p1Step{capture: true, mem: mi})
+			if !charge(bi, false) {
+				return nil
+			}
+			if !write {
+				constStall(bi.carriedStall)
+				p.vsteps = append(p.vsteps, vStep{kind: vsLoad, idx: mi})
+			} else {
+				p.vsteps = append(p.vsteps, vStep{kind: vsStore, idx: mi})
+			}
+			p.stall = append(p.stall, stallEv{mem: mi})
+
+		default:
+			if !uniformEvalOK(bi.op) {
+				return nil
+			}
+			if fold {
+				a, okA := vecArg(int32(bi.a))
+				b, okB := vecArg(int32(bi.b))
+				if !okA || !okB {
+					return nil
+				}
+				if !charge(bi, bi.hasChB) {
+					return nil
+				}
+				constStall(bi.carriedStall)
+				if !markWrite(int32(bi.dst), rcFold) {
+					return nil
+				}
+				fi := int32(len(p.folds))
+				p.folds = append(p.folds, mbFold{a: a, b: b, dst: int32(bi.dst)})
+				p.vsteps = append(p.vsteps, vStep{kind: vsFold, idx: fi})
+				setClass(int32(bi.dst), rcFold)
+				continue
+			}
+
+			// Iteration-independent ops are evaluated once per replay entry;
+			// their issue charges are still paid every iteration.
+			allUniform := true
+			for i := 0; i < nr; i++ {
+				if c := classOf(reads[i]); c != rcInvariant && c != rcUniform {
+					allUniform = false
+					break
+				}
+			}
+			switch bi.op {
+			case vm.OpConst, vm.OpIota, vm.OpMaskMov:
+				allUniform = true
+			case vm.OpCopy, vm.OpBroadcast:
+				if !allUniform {
+					return nil
+				}
+			}
+			if allUniform {
+				if !charge(bi, bi.op == vm.OpFMA && bi.hasChB) {
+					return nil
+				}
+				constStall(bi.carriedStall)
+				if !markWrite(int32(bi.dst), rcUniform) {
+					return nil
+				}
+				p.uniform = append(p.uniform, bi)
+				setClass(int32(bi.dst), rcUniform)
+				continue
+			}
+
+			if bi.w == 1 {
+				// Scalar address tape: affine chains over the induction.
+				if bi.op != vm.OpAdd && bi.op != vm.OpSub && bi.op != vm.OpMul {
+					return nil
+				}
+				a, okA := scalArg(int32(bi.a))
+				b, okB := scalArg(int32(bi.b))
+				if !okA || !okB {
+					return nil
+				}
+				if !charge(bi, false) {
+					return nil
+				}
+				constStall(bi.carriedStall)
+				if !markWrite(int32(bi.dst), rcScalar) {
+					return nil
+				}
+				p.p1 = append(p.p1, p1Step{op: bi.op, a: a, b: b, dst: int32(bi.dst)})
+				setClass(int32(bi.dst), rcScalar)
+				continue
+			}
+
+			// Vertical vector op.
+			if !verticalOK(bi.op) {
+				return nil
+			}
+			a, okA := vecArg(int32(bi.a))
+			if !okA {
+				return nil
+			}
+			var b, c mArg
+			if nr >= 2 {
+				var okB bool
+				b, okB = vecArg(int32(bi.b))
+				if !okB {
+					return nil
+				}
+			}
+			if nr >= 3 {
+				var okC bool
+				c, okC = vecArg(int32(bi.c))
+				if !okC {
+					return nil
+				}
+			}
+			if !charge(bi, bi.op == vm.OpFMA && bi.hasChB) {
+				return nil
+			}
+			constStall(bi.carriedStall)
+			if !markWrite(int32(bi.dst), rcVector) {
+				return nil
+			}
+			vi := int32(len(p.vops))
+			slot := newSlot(int32(bi.dst))
+			p.vops = append(p.vops, vOp{op: bi.op, a: a, b: b, c: c, slot: slot})
+			p.vsteps = append(p.vsteps, vStep{kind: vsOp, idx: vi})
+		}
+	}
+
+	// Require at least one memory event or vector op; a body of pure
+	// uniform/scalar work replays trivially but is not worth the machinery.
+	if len(p.vsteps) == 0 {
+		return nil
+	}
+
+	// Register finalization table: the slot holding each vector-written
+	// register's final value (last write wins, matching the walk order).
+	for r := 0; r < numRegs; r++ {
+		if classes[r] == rcVector {
+			p.finalReg = append(p.finalReg, int32(r*vm.MaxLanes))
+			p.finalSlot = append(p.finalSlot, slotOf[r])
+		}
+	}
+
+	// Affine-tape analysis: track each tape value's degree in the induction.
+	// Add/Sub keep the max degree, Mul adds them; anything past degree 1 is
+	// nonlinear and keeps the generic per-iteration address pass. Distinct
+	// non-tape operands are collected for the replay-time integrality probe.
+	p.affine = true
+	deg := map[int32]uint8{}
+	seenIn := map[int32]bool{}
+	degOf := func(a sArg) uint8 {
+		if a.ind {
+			return 1
+		}
+		if d, ok := deg[a.off]; ok {
+			return d
+		}
+		if !seenIn[a.off] {
+			seenIn[a.off] = true
+			p.tapeIns = append(p.tapeIns, a.off)
+		}
+		return 0
+	}
+	for si := range p.p1 {
+		st := &p.p1[si]
+		if st.capture {
+			degOf(p.mem[st.mem].base)
+			continue
+		}
+		da, db := degOf(st.a), degOf(st.b)
+		d := da
+		if st.op == vm.OpMul {
+			d = da + db
+		} else if db > d {
+			d = db
+		}
+		if d > 1 {
+			p.affine = false
+			break
+		}
+		deg[st.dst] = d
+	}
+	for _, sv := range p.stall {
+		if sv.mem < 0 {
+			p.constStalls = append(p.constStalls, sv.stall)
+		}
+	}
+
+	// Aliasing hazards: any store paired with a distinct same-array event
+	// needs the per-block interval disjointness check at replay time.
+	for i := range p.mem {
+		if !p.mem[i].write {
+			continue
+		}
+		for j := range p.mem {
+			if j != i && p.mem[j].bi.arr == p.mem[i].bi.arr {
+				p.conflicts = append(p.conflicts, conflictPair{a: int32(i), b: int32(j)})
+			}
+		}
+	}
+	return p
+}

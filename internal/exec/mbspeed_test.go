@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"ninjagap/internal/kernels"
+	"ninjagap/internal/machine"
+)
+
+// legalN clamps a benchmark size to its minimum and the per-kernel size
+// granularity (mirrors the gap package's size legalization, which exec
+// tests cannot import without a cycle).
+func legalN(b kernels.Benchmark, n int) int {
+	if min := b.TestN(); n < min {
+		n = min
+	}
+	switch b.Name() {
+	case "complexconv", "blackscholes":
+		return (n / 64) * 64
+	}
+	return n
+}
+
+// mbMedianRun returns the median wall-clock seconds of reps simulator runs
+// of a prepared kernel instance under the given macro-block mode. Medians
+// of in-process runs are the only timing comparison stable enough for
+// shared CI hardware; single-shot wall-clock deltas are dominated by noise.
+func mbMedianRun(t *testing.T, inst *kernels.Instance, m *machine.Machine, mode string, reps int) float64 {
+	t.Helper()
+	ts := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if _, err := Run(inst.Prog, inst.Arrays, m, Options{Threads: m.HWThreads(), Macroblock: mode}); err != nil {
+			t.Fatal(err)
+		}
+		ts = append(ts, time.Since(start).Seconds())
+	}
+	sort.Float64s(ts)
+	return ts[len(ts)/2]
+}
+
+// TestMBSpeedRegression is the macro-block profitability guard: on the
+// compute-bound affine kernels, forcing replay ("on") must beat pure
+// interpretation ("off"), and on every built-in kernel auto mode must not
+// be meaningfully slower than off (its guards exist precisely to decline
+// unprofitable entries). Thresholds leave generous margin for shared-CI
+// timing noise; genuine regressions (replay losing its bulk paths, or the
+// auto guards breaking) overshoot them by far more.
+func TestMBSpeedRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing harness")
+	}
+	if raceEnabled {
+		t.Skip("timing comparison is meaningless under the race detector")
+	}
+	m := machine.WestmereX980()
+	computeBound := map[string]bool{"blackscholes": true, "conv2d": true, "nbody": true}
+	for _, b := range kernels.All() {
+		name := b.Name()
+		n := legalN(b, int(float64(b.DefaultN())*0.25))
+		inst, err := b.Prepare(kernels.Ninja, m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mbMedianRun(t, inst, m, "auto", 5) // warm pools
+		off := mbMedianRun(t, inst, m, "off", 15)
+		auto := mbMedianRun(t, inst, m, "auto", 15)
+		t.Logf("%-14s off=%8.3fms auto=%8.3fms speedup=%5.2fx", name, off*1e3, auto*1e3, off/auto)
+		if auto > off*1.25 {
+			t.Errorf("%s: auto mode %.3fms is more than 1.25x slower than off %.3fms", name, auto*1e3, off*1e3)
+		}
+		if computeBound[name] {
+			on := mbMedianRun(t, inst, m, "on", 15)
+			t.Logf("%-14s on =%8.3fms speedup=%5.2fx", name, on*1e3, off/on)
+			if on >= off {
+				t.Errorf("%s: macro-block on %.3fms not faster than off %.3fms", name, on*1e3, off*1e3)
+			}
+		}
+	}
+}

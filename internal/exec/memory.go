@@ -5,7 +5,6 @@ import (
 
 	"ninjagap/internal/cache"
 	"ninjagap/internal/machine"
-	"ninjagap/internal/vm"
 )
 
 // touchLineMLP simulates one demand cache access and charges miss stalls,
@@ -86,7 +85,7 @@ func (t *threadCtx) slowLoad(bi *bInstr, w int, base int64) {
 	d := t.reg(bi.dst)
 	eb := bi.eb
 	stride := bi.stride
-	var lines [2 * vm.MaxLanes]uint64
+	lines := &t.memLines
 	nl := 0
 	for l := 0; l < w; l++ {
 		if t.mask&(1<<uint(l)) == 0 {
@@ -182,7 +181,7 @@ func (t *threadCtx) slowStore(bi *bInstr, w int, base int64) {
 	v := t.reg(bi.a)
 	eb := bi.eb
 	stride := bi.stride
-	var lines [2 * vm.MaxLanes]uint64
+	lines := &t.memLines
 	nl := 0
 	for l := 0; l < w; l++ {
 		if t.mask&(1<<uint(l)) == 0 {
@@ -233,7 +232,7 @@ func (t *threadCtx) gather(bi *bInstr, w int) {
 	d := t.reg(bi.dst)
 	eb := bi.eb
 
-	var lines [vm.MaxLanes]uint64
+	lines := &t.memLines
 	nl := 0
 	for l := 0; l < w; l++ {
 		if w > 1 && t.mask&(1<<uint(l)) == 0 {
@@ -285,7 +284,7 @@ func (t *threadCtx) scatter(bi *bInstr, w int) {
 	v := t.reg(bi.a)
 	eb := bi.eb
 
-	var lines [vm.MaxLanes]uint64
+	lines := &t.memLines
 	nl := 0
 	for l := 0; l < w; l++ {
 		if w > 1 && t.mask&(1<<uint(l)) == 0 {

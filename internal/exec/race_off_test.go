@@ -1,0 +1,5 @@
+//go:build !race
+
+package exec
+
+const raceEnabled = false

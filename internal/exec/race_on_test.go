@@ -1,0 +1,8 @@
+//go:build race
+
+package exec
+
+// raceEnabled reports whether the race detector is compiled in; the
+// wall-clock regression test skips under it (instrumentation overhead
+// swamps the timing being asserted).
+const raceEnabled = true

@@ -1,0 +1,773 @@
+package exec
+
+// Macro-block replay: analytic execution of a planned vector loop (see
+// macro.go for the plan and the bit-identity argument). Replay advances
+// trip counts in blocks of mbBlock full-vector iterations through four
+// passes per block:
+//
+//  1a. address pass — evaluate the scalar address tape and capture every
+//      memory event's base per iteration, bounds-checking as the
+//      interpreter would (an out-of-bounds base ends replay before the
+//      offending iteration, so interpretation resumes there and reproduces
+//      the exact error).
+//  con. conflict pass — when the body stores to an array it also reads (or
+//      stores twice), the block's access intervals are checked for overlap
+//      between distinct events; any overlap abandons replay before any
+//      simulator state is touched, so the interpreter's byte-exact
+//      load/store interleaving takes over.
+//  1b. stall/cache pass — walk the stall tape per iteration in body order:
+//      constant carried-stall additions plus every memory event's demand
+//      line touches, through per-event line cursors (cache.TouchLine) that
+//      shortcut repeated same-line hits while preserving LRU, prefetcher
+//      and statistics state exactly.
+//  2.  bulk pass — closed-form accounting of everything order-insensitive:
+//      per-iteration port occupancy, issue slots, flops, class counts,
+//      unroll-grouped loop-head charges, and base-alignment realign
+//      charges. All bulked occupancies are validated dyadic at plan time,
+//      so these sums are bit-equal to the interpreter's sequential adds.
+//  3.  vertical pass — functional evaluation: loads fill block-column
+//      slots, lanewise ops run column-at-a-time over the block, folds
+//      accumulate per-iteration onto the register file in interpreter
+//      order, stores write back in ascending iteration order.
+//
+// After the last block, registers are finalized to exactly the state
+// interpretation would have left: the induction register across all lanes,
+// each vector-written register's lanes [0,W) from its final slot's last
+// completed row, scalar-tape registers (already holding the last
+// iteration's lane-0 values) and fold accumulators (already live on the
+// register file).
+
+import (
+	"math"
+	"sync/atomic"
+
+	"ninjagap/internal/cache"
+	"ninjagap/internal/machine"
+	"ninjagap/internal/vm"
+)
+
+// curPerEv is the number of line cursors kept per memory event: a unit
+// vector access spans at most W*eb <= (MaxLanes)*lineBytes bytes, i.e. at
+// most MaxLanes+1 lines.
+const curPerEv = vm.MaxLanes + 1
+
+// mbCoverage counts replayed full-vector iterations process-wide, bumped
+// once per covering replay entry. It exists for the differential tests,
+// which must prove replay actually engaged — a bit-identity check whose
+// programs silently never replay proves nothing.
+var mbCoverage atomic.Uint64
+
+// mbScratch is a thread's reusable replay scratch space.
+type mbScratch struct {
+	plan *macroPlan       // plan the scratch is currently seated for
+	hier *cache.Hierarchy // hierarchy the cursors point into
+
+	slots []float64    // nSlots x mbBlock x W, slot-major
+	ind   []float64    // induction column when a plan uses maInd, mbBlock x W
+	arg   [3][]float64 // tiled register operands, mbBlock x W each
+	bases []int64      // nMem x mbBlock captured bases
+	lo    []int64      // per-event block minimum base (conflict check)
+	hi    []int64      // per-event block maximum base (conflict check)
+	curs  []cache.LineCursor
+
+	// Affine fast-path state (see probeAffine / replayAffine).
+	tape0, tape1 []float64 // per-step tape values at probe points k=0, k=1
+	b0, bs       []int64   // per-event base intercept and per-iteration stride
+	firstL       []uint64  // per-event current first/last touched line
+	lastL        []uint64
+	nextChg      []int64 // block-relative iteration where the lines change
+	runT         []cache.RunTouch
+}
+
+// ensure seats the scratch for a plan. Consecutive entries of the same loop
+// on the same hierarchy — by far the common case — are a two-pointer
+// compare; in particular the line cursors survive across entries. That is
+// sound because a cursor never asserts anything by itself: every fast-path
+// use re-validates generation, tag and prefetcher state against the live
+// hierarchy, so a stale cursor merely falls back to the general access path.
+// Cursors are reset only when the scratch is re-seated for a different plan
+// (cursor indices are per-plan event slots) or hierarchy object.
+func (s *mbScratch) ensure(p *macroPlan, h *cache.Hierarchy) {
+	if s.plan == p && s.hier == h {
+		return
+	}
+	s.plan, s.hier = p, h
+	if n := p.nSlots * mbBlock * p.W; cap(s.slots) < n {
+		s.slots = make([]float64, n)
+	} else {
+		s.slots = s.slots[:n]
+	}
+	if n := mbBlock * p.W; cap(s.ind) < n {
+		s.ind = make([]float64, n)
+	} else {
+		s.ind = s.ind[:n]
+	}
+	for i := range s.arg {
+		if n := mbBlock * p.W; cap(s.arg[i]) < n {
+			s.arg[i] = make([]float64, n)
+		} else {
+			s.arg[i] = s.arg[i][:n]
+		}
+	}
+	nm := len(p.mem)
+	if cap(s.bases) < nm*mbBlock {
+		s.bases = make([]int64, nm*mbBlock)
+	} else {
+		s.bases = s.bases[:nm*mbBlock]
+	}
+	if cap(s.lo) < nm {
+		s.lo = make([]int64, nm)
+		s.hi = make([]int64, nm)
+		s.b0 = make([]int64, nm)
+		s.bs = make([]int64, nm)
+		s.firstL = make([]uint64, nm)
+		s.lastL = make([]uint64, nm)
+		s.nextChg = make([]int64, nm)
+	} else {
+		s.lo, s.hi = s.lo[:nm], s.hi[:nm]
+		s.b0, s.bs = s.b0[:nm], s.bs[:nm]
+		s.firstL, s.lastL = s.firstL[:nm], s.lastL[:nm]
+		s.nextChg = s.nextChg[:nm]
+	}
+	if nt := len(p.p1); cap(s.tape0) < nt {
+		s.tape0 = make([]float64, nt)
+		s.tape1 = make([]float64, nt)
+	} else {
+		s.tape0, s.tape1 = s.tape0[:nt], s.tape1[:nt]
+	}
+	if cap(s.runT) < 2*nm {
+		s.runT = make([]cache.RunTouch, 0, 2*nm)
+	}
+	if cap(s.curs) < nm*curPerEv {
+		s.curs = make([]cache.LineCursor, nm*curPerEv)
+	} else {
+		s.curs = s.curs[:nm*curPerEv]
+	}
+	for i := range s.curs {
+		s.curs[i].Invalidate()
+	}
+}
+
+// col resolves an mArg to a contiguous column of n*W elements: slot and
+// induction operands are already laid out that way; register operands
+// (loop-invariant or uniform lanes) are tiled once into scratch column k,
+// which keeps every vertical kernel a single flat loop.
+func (t *threadCtx) col(a mArg, p *macroPlan, n, k int) []float64 {
+	W := p.W
+	N := n * W
+	switch a.kind {
+	case maSlot:
+		off := int(a.idx) * mbBlock * W
+		return t.mb.slots[off : off+N]
+	case maInd:
+		return t.mb.ind[:N]
+	default:
+		buf := t.mb.arg[k][:N]
+		src := t.regs[a.idx : int(a.idx)+W]
+		for i := 0; i < N; i += W {
+			copy(buf[i:i+W], src)
+		}
+		return buf
+	}
+}
+
+// sval reads a scalar-tape operand for iteration induction value ind.
+func (t *threadCtx) sval(a sArg, ind float64) float64 {
+	if a.ind {
+		return ind
+	}
+	return t.regs[a.off]
+}
+
+// bulkAdd accounts n identical charge rows at once. Exact because every
+// bulked occupancy is dyadic (validated at plan time).
+func (t *threadCtx) bulkAdd(ch chargeRow, n int64) {
+	if n <= 0 {
+		return
+	}
+	t.cost.port[ch.port] += ch.occ * float64(n)
+	t.cost.dyn += uint64(n)
+	t.cost.classes[ch.class] += uint64(n)
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// replay runs up to F full-vector iterations of the planned loop starting
+// at induction base lo, and returns how many iterations k it completed.
+// The caller resumes interpretation at base lo + k*W with trip count k.
+func (t *threadCtx) replay(p *macroPlan, lo, F int64) int64 {
+	t.mb.ensure(p, t.hier)
+
+	// Iteration-independent ops: evaluated once, charged per iteration in
+	// the bulk pass. Their register writes are exactly what interpretation
+	// would produce, so they are correct even if replay covers nothing.
+	for _, bi := range p.uniform {
+		t.evalUniform(bi)
+	}
+
+	// Tile loop-constant vector operands into their dedicated slot columns,
+	// once per entry: every block's vertical pass then reads them as plain
+	// columns instead of re-tiling register lanes per op.
+	if len(p.constCols) > 0 {
+		rows := F
+		if rows > mbBlock {
+			rows = mbBlock
+		}
+		N := int(rows) * p.W
+		for _, cc := range p.constCols {
+			dst := t.mb.slots[int(cc.slot)*mbBlock*p.W:]
+			src := t.regs[cc.reg : int(cc.reg)+p.W]
+			for i := 0; i < N; i += p.W {
+				copy(dst[i:i+p.W], src)
+			}
+		}
+	}
+
+	if p.affine && t.probeAffine(p, lo, F) {
+		return t.replayAffine(p, lo, F)
+	}
+	return t.replayGeneric(p, lo, F)
+}
+
+// replayGeneric is the per-iteration replay path: the scalar address tape is
+// evaluated iteration by iteration (exactly as the interpreter's w==1 ops
+// would), so it handles nonlinear address chains and tapes whose exactness
+// the affine probe could not certify.
+func (t *threadCtx) replayGeneric(p *macroPlan, lo, F int64) int64 {
+	W := int64(p.W)
+	kDone := int64(0)
+	lastRow := -1 // row index (within slots) of the last replayed iteration
+	stop := false
+
+	for kStart := int64(0); kStart < F && !stop; kStart += mbBlock {
+		cnt := F - kStart
+		if cnt > mbBlock {
+			cnt = mbBlock
+		}
+
+		// Pass 1a: scalar tape + base capture, in body order per iteration.
+		bailR := cnt
+		needMM := len(p.conflicts) > 0
+		if needMM {
+			for i := range p.mem {
+				t.mb.lo[i] = math.MaxInt64
+				t.mb.hi[i] = math.MinInt64
+			}
+		}
+	pass1a:
+		for r := int64(0); r < cnt; r++ {
+			ind := float64(lo + (kStart+r)*W)
+			for si := range p.p1 {
+				st := &p.p1[si]
+				if !st.capture {
+					av, bv := t.sval(st.a, ind), t.sval(st.b, ind)
+					var v float64
+					switch st.op {
+					case vm.OpAdd:
+						v = av + bv
+					case vm.OpSub:
+						v = av - bv
+					default:
+						v = av * bv
+					}
+					t.regs[st.dst] = v
+					continue
+				}
+				ev := &p.mem[st.mem]
+				base := int64(t.sval(ev.base, ind))
+				if base < 0 || base+W > int64(len(ev.bi.arr.Data)) {
+					bailR = r
+					break pass1a
+				}
+				t.mb.bases[int(st.mem)*mbBlock+int(r)] = base
+				if needMM {
+					if base < t.mb.lo[st.mem] {
+						t.mb.lo[st.mem] = base
+					}
+					if base > t.mb.hi[st.mem] {
+						t.mb.hi[st.mem] = base
+					}
+				}
+			}
+		}
+		stop = bailR < cnt
+
+		// Conflict pass: any overlap between a store's block interval and
+		// another same-array event's interval abandons replay here — before
+		// any cache, cost or memory mutation — leaving interpretation to
+		// execute the block with its exact interleaving.
+		if needMM && bailR > 0 {
+			for _, c := range p.conflicts {
+				aLo, aHi := t.mb.lo[c.a], t.mb.hi[c.a]+W
+				bLo, bHi := t.mb.lo[c.b], t.mb.hi[c.b]+W
+				if aLo < bHi && bLo < aHi {
+					return kDone
+				}
+			}
+		}
+		if bailR == 0 {
+			break
+		}
+		cnt = bailR
+
+		// Pass 1b: the order-sensitive stall tape — constant carried-stall
+		// additions and demand cache touches, per iteration in body order.
+		alignCnt := int64(0)
+		lineBytes := uint64(t.e.lineBytes)
+		for r := int64(0); r < cnt; r++ {
+			for si := range p.stall {
+				sv := &p.stall[si]
+				if sv.mem < 0 {
+					t.cost.stall += sv.stall
+					continue
+				}
+				ev := &p.mem[sv.mem]
+				base := t.mb.bases[int(sv.mem)*mbBlock+int(r)]
+				if ev.align && base%W != 0 {
+					alignCnt++
+				}
+				bi := ev.bi
+				first := t.e.lineOf(bi.arr.Base + uint64(base)*bi.eb)
+				last := t.e.lineOf(bi.arr.Base + uint64(base+W-1)*bi.eb)
+				ci := int(sv.mem) * curPerEv
+				for la := first; la <= last; la += lineBytes {
+					lvl, lat := t.hier.TouchLine(&t.mb.curs[ci], la, ev.write)
+					ci++
+					if !ev.write && lvl != cache.L1 {
+						if pen := lat - t.e.l1Latency; pen > 0 {
+							t.cost.stall += pen / bi.mlp
+						}
+					}
+				}
+			}
+		}
+
+		// Pass 2: bulk order-insensitive accounting.
+		t.bulkBlock(p, kStart, cnt, alignCnt)
+
+		// Pass 3: vertical functional evaluation.
+		t.fillInd(p, lo, kStart, cnt)
+		t.vertical(p, cnt)
+
+		kDone = kStart + cnt
+		lastRow = int(cnt) - 1
+	}
+
+	return t.mbFinalize(p, lo, kDone, lastRow)
+}
+
+// mbFinalize leaves the register file exactly as interpretation of
+// iterations [0, kDone) would have: the induction register across all
+// lanes, and each vector-written register's lanes [0, W) from its final
+// slot's last completed row.
+func (t *threadCtx) mbFinalize(p *macroPlan, lo, kDone int64, lastRow int) int64 {
+	if kDone == 0 {
+		return 0
+	}
+	// Scalar tape registers end at the last iteration's values. The generic
+	// pass leaves them there already (this re-evaluation is idempotent); the
+	// affine pass never wrote them per iteration and needs it.
+	t.evalTapeAt(p, lo, kDone-1, nil)
+	d := t.reg(int(p.indOff))
+	ib := lo + (kDone-1)*int64(p.W)
+	for l := 0; l < vm.MaxLanes; l++ {
+		d[l] = float64(ib + int64(l))
+	}
+	for i, off := range p.finalReg {
+		row := t.mb.slots[int(p.finalSlot[i])*mbBlock*p.W+lastRow*p.W:]
+		copy(t.regs[off:int(off)+p.W], row[:p.W])
+	}
+	return kDone
+}
+
+// bulkBlock is pass 2: bulk order-insensitive accounting for one block of
+// cnt iterations starting at iteration kStart — per-iteration port
+// occupancy, issue slots, flops, class counts, unroll-grouped loop-head
+// charges and alignment realign charges. Exact because every bulked
+// occupancy is dyadic (validated at plan time).
+func (t *threadCtx) bulkBlock(p *macroPlan, kStart, cnt, alignCnt int64) {
+	heads := ceilDiv(kStart+cnt, p.unroll) - ceilDiv(kStart, p.unroll)
+	t.bulkAdd(p.headCh, heads)
+	t.bulkAdd(p.headChB, heads)
+	for i := 0; i < int(machine.NumPorts); i++ {
+		t.cost.port[i] += p.perIterPort[i] * float64(cnt)
+	}
+	t.cost.dyn += p.perIterDyn * uint64(cnt)
+	t.cost.flops += p.perIterFlops * uint64(cnt)
+	for i := 0; i < machine.NumOpClasses; i++ {
+		t.cost.classes[i] += p.perIterClasses[i] * uint64(cnt)
+	}
+	if p.hasAlign {
+		t.bulkAdd(p.alignRow, alignCnt)
+	}
+}
+
+// fillInd materializes the induction column for one block when a vertical
+// operand reads the induction register directly.
+func (t *threadCtx) fillInd(p *macroPlan, lo, kStart, cnt int64) {
+	if !p.usesInd {
+		return
+	}
+	W := int64(p.W)
+	for r := int64(0); r < cnt; r++ {
+		row := t.mb.ind[r*W:]
+		v := lo + (kStart+r)*W
+		for l := int64(0); l < W; l++ {
+			row[l] = float64(v + l)
+		}
+	}
+}
+
+// vertical runs the functional tape over one block of cnt iterations.
+func (t *threadCtx) vertical(p *macroPlan, cnt int64) {
+	W := p.W
+	n := int(cnt)
+	for _, vs := range p.vsteps {
+		switch vs.kind {
+		case vsLoad:
+			ev := &p.mem[vs.idx]
+			dst := t.mb.slots[int(ev.slot)*mbBlock*W:]
+			data := ev.bi.arr.Data
+			for r := 0; r < n; r++ {
+				base := t.mb.bases[int(vs.idx)*mbBlock+r]
+				copy(dst[r*W:r*W+W], data[base:base+int64(W)])
+			}
+		case vsStore:
+			ev := &p.mem[vs.idx]
+			src := t.col(ev.src, p, n, 0)
+			data := ev.bi.arr.Data
+			for r := 0; r < n; r++ {
+				base := t.mb.bases[int(vs.idx)*mbBlock+r]
+				copy(data[base:base+int64(W)], src[r*W:r*W+W])
+			}
+		case vsFold:
+			f := &p.folds[vs.idx]
+			a, b := t.col(f.a, p, n, 0), t.col(f.b, p, n, 1)
+			d := t.regs[f.dst : int(f.dst)+W]
+			for r := 0; r < n; r++ {
+				ar, br := a[r*W:r*W+W], b[r*W:r*W+W]
+				for l := 0; l < W; l++ {
+					d[l] = ar[l]*br[l] + d[l]
+				}
+			}
+		case vsOp:
+			t.verticalOp(p, &p.vops[vs.idx], n)
+		}
+	}
+}
+
+// verticalOp evaluates one lanewise op over the block as a single flat loop
+// over n*W contiguous elements, mirroring the interpreter's per-lane
+// expressions exactly (every lane is independent, so element order does not
+// affect the values produced).
+func (t *threadCtx) verticalOp(p *macroPlan, op *vOp, n int) {
+	W := p.W
+	N := n * W
+	off := int(op.slot) * mbBlock * W
+	d := t.mb.slots[off : off+N]
+	a := t.col(op.a, p, n, 0)[:N]
+
+	switch op.op {
+	case vm.OpNeg:
+		for i, v := range a {
+			d[i] = -v
+		}
+		return
+	case vm.OpAbs:
+		for i, v := range a {
+			d[i] = math.Abs(v)
+		}
+		return
+	case vm.OpFloor:
+		for i, v := range a {
+			d[i] = math.Floor(v)
+		}
+		return
+	case vm.OpSqrt:
+		for i, v := range a {
+			d[i] = math.Sqrt(v)
+		}
+		return
+	case vm.OpRsqrt:
+		for i, v := range a {
+			d[i] = 1 / math.Sqrt(v)
+		}
+		return
+	case vm.OpRcp:
+		for i, v := range a {
+			d[i] = 1 / v
+		}
+		return
+	case vm.OpExp:
+		for i, v := range a {
+			d[i] = math.Exp(v)
+		}
+		return
+	case vm.OpLog:
+		for i, v := range a {
+			d[i] = math.Log(v)
+		}
+		return
+	case vm.OpSin:
+		for i, v := range a {
+			d[i] = math.Sin(v)
+		}
+		return
+	case vm.OpCos:
+		for i, v := range a {
+			d[i] = math.Cos(v)
+		}
+		return
+	case vm.OpNotM:
+		for i, v := range a {
+			d[i] = b2f(v == 0)
+		}
+		return
+	}
+
+	b := t.col(op.b, p, n, 1)[:N]
+	switch op.op {
+	case vm.OpFMA:
+		c := t.col(op.c, p, n, 2)[:N]
+		for i, v := range a {
+			d[i] = v*b[i] + c[i]
+		}
+	case vm.OpBlend:
+		c := t.col(op.c, p, n, 2)[:N]
+		for i, v := range a {
+			if c[i] != 0 {
+				d[i] = v
+			} else {
+				d[i] = b[i]
+			}
+		}
+	case vm.OpAdd:
+		for i, v := range a {
+			d[i] = v + b[i]
+		}
+	case vm.OpSub:
+		for i, v := range a {
+			d[i] = v - b[i]
+		}
+	case vm.OpMul:
+		for i, v := range a {
+			d[i] = v * b[i]
+		}
+	case vm.OpDiv:
+		for i, v := range a {
+			d[i] = v / b[i]
+		}
+	case vm.OpMin:
+		for i, v := range a {
+			d[i] = math.Min(v, b[i])
+		}
+	case vm.OpMax:
+		for i, v := range a {
+			d[i] = math.Max(v, b[i])
+		}
+	case vm.OpCmpLT:
+		for i, v := range a {
+			d[i] = b2f(v < b[i])
+		}
+	case vm.OpCmpLE:
+		for i, v := range a {
+			d[i] = b2f(v <= b[i])
+		}
+	case vm.OpCmpGT:
+		for i, v := range a {
+			d[i] = b2f(v > b[i])
+		}
+	case vm.OpCmpGE:
+		for i, v := range a {
+			d[i] = b2f(v >= b[i])
+		}
+	case vm.OpCmpEQ:
+		for i, v := range a {
+			d[i] = b2f(v == b[i])
+		}
+	case vm.OpCmpNE:
+		for i, v := range a {
+			d[i] = b2f(v != b[i])
+		}
+	case vm.OpAndM:
+		for i, v := range a {
+			d[i] = b2f(v != 0 && b[i] != 0)
+		}
+	case vm.OpOrM:
+		for i, v := range a {
+			d[i] = b2f(v != 0 || b[i] != 0)
+		}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evalUniform executes one iteration-independent op's value semantics,
+// mirroring the interpreter's lane behavior exactly but charging nothing
+// (its issue charges are bulked per iteration).
+func (t *threadCtx) evalUniform(bi *bInstr) {
+	w := bi.w
+	switch bi.op {
+	case vm.OpConst:
+		d := t.reg(bi.dst)
+		for l := 0; l < vm.MaxLanes; l++ {
+			d[l] = bi.imm
+		}
+	case vm.OpIota:
+		d := t.reg(bi.dst)
+		for l := 0; l < vm.MaxLanes; l++ {
+			d[l] = bi.imm + float64(l)
+		}
+	case vm.OpCopy:
+		*t.reg(bi.dst) = *t.reg(bi.a)
+	case vm.OpBroadcast:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		v := a[0]
+		for l := 0; l < vm.MaxLanes; l++ {
+			d[l] = v
+		}
+	case vm.OpMaskMov:
+		d := t.reg(bi.dst)
+		for l := 0; l < vm.MaxLanes; l++ {
+			if t.mask&(1<<uint(l)) != 0 {
+				d[l] = 1
+			} else {
+				d[l] = 0
+			}
+		}
+	case vm.OpAdd:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = a[l] + b[l]
+		}
+	case vm.OpSub:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = a[l] - b[l]
+		}
+	case vm.OpMul:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = a[l] * b[l]
+		}
+	case vm.OpDiv:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = a[l] / b[l]
+		}
+	case vm.OpMin:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Min(a[l], b[l])
+		}
+	case vm.OpMax:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Max(a[l], b[l])
+		}
+	case vm.OpFMA:
+		a, b, c, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.c), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = a[l]*b[l] + c[l]
+		}
+	case vm.OpNeg:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = -a[l]
+		}
+	case vm.OpAbs:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Abs(a[l])
+		}
+	case vm.OpFloor:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Floor(a[l])
+		}
+	case vm.OpSqrt:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Sqrt(a[l])
+		}
+	case vm.OpRsqrt:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = 1 / math.Sqrt(a[l])
+		}
+	case vm.OpRcp:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = 1 / a[l]
+		}
+	case vm.OpExp:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Exp(a[l])
+		}
+	case vm.OpLog:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Log(a[l])
+		}
+	case vm.OpSin:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Sin(a[l])
+		}
+	case vm.OpCos:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = math.Cos(a[l])
+		}
+	case vm.OpCmpLT, vm.OpCmpLE, vm.OpCmpGT, vm.OpCmpGE, vm.OpCmpEQ, vm.OpCmpNE:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			var r bool
+			switch bi.op {
+			case vm.OpCmpLT:
+				r = a[l] < b[l]
+			case vm.OpCmpLE:
+				r = a[l] <= b[l]
+			case vm.OpCmpGT:
+				r = a[l] > b[l]
+			case vm.OpCmpGE:
+				r = a[l] >= b[l]
+			case vm.OpCmpEQ:
+				r = a[l] == b[l]
+			case vm.OpCmpNE:
+				r = a[l] != b[l]
+			}
+			d[l] = b2f(r)
+		}
+	case vm.OpAndM:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = b2f(a[l] != 0 && b[l] != 0)
+		}
+	case vm.OpOrM:
+		a, b, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = b2f(a[l] != 0 || b[l] != 0)
+		}
+	case vm.OpNotM:
+		a, d := t.reg(bi.a), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			d[l] = b2f(a[l] == 0)
+		}
+	case vm.OpBlend:
+		a, b, c, d := t.reg(bi.a), t.reg(bi.b), t.reg(bi.c), t.reg(bi.dst)
+		for l := 0; l < w; l++ {
+			if c[l] != 0 {
+				d[l] = a[l]
+			} else {
+				d[l] = b[l]
+			}
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package exec
+
+// Affine replay: the closed-form fast path over replayGeneric. When the
+// scalar address tape is structurally affine in the induction (plan-time
+// check) AND a per-entry probe certifies that every tape value is an exact
+// integer of bounded magnitude at both ends of the trip range, each memory
+// event's base is exactly base0 + k*stride for iteration k — the float64
+// evaluation the interpreter performs cannot round anywhere in between,
+// because every intermediate is an integer below 2^52 (monotone affine in k,
+// so bounded by its endpoint values) and IEEE double arithmetic on such
+// integers is exact.
+//
+// That closed form removes all per-iteration address work and makes bounds
+// faults, aliasing intervals and alignment counts analytic. The cache pass
+// still walks iterations — the prefetcher and LRU state are genuinely
+// sequential — but between line transitions (computable from the strides)
+// whole stretches advance through cache.TouchRun in closed form when every
+// touch provably takes the fast path.
+
+import (
+	"math"
+
+	"ninjagap/internal/cache"
+	"ninjagap/internal/vm"
+)
+
+// mbBound caps every value entering the closed-form argument: tape
+// intermediates, tape inputs and the induction itself must stay strictly
+// below 2^52 in magnitude, leaving a full bit of slack under float64's 2^53
+// exact-integer range so the endpoint magnitude checks themselves cannot be
+// fooled by rounding.
+const mbBound = 1 << 52
+
+// evalTapeAt evaluates the full scalar tape for iteration k, writing tape
+// destinations to the register file exactly as the interpreter's w==1 ops
+// would. When out is non-nil it records every step's value (captures record
+// the base operand they would capture).
+func (t *threadCtx) evalTapeAt(p *macroPlan, lo, k int64, out []float64) {
+	ind := float64(lo + k*int64(p.W))
+	for si := range p.p1 {
+		st := &p.p1[si]
+		if st.capture {
+			if out != nil {
+				out[si] = t.sval(p.mem[st.mem].base, ind)
+			}
+			continue
+		}
+		av, bv := t.sval(st.a, ind), t.sval(st.b, ind)
+		var v float64
+		switch st.op {
+		case vm.OpAdd:
+			v = av + bv
+		case vm.OpSub:
+			v = av - bv
+		default:
+			v = av * bv
+		}
+		t.regs[st.dst] = v
+		if out != nil {
+			out[si] = v
+		}
+	}
+}
+
+// probeAffine evaluates the tape at k=0 and k=1 and validates the exactness
+// preconditions for the closed-form base formula over k in [0, F): every
+// tape input and every step value integral and below mbBound at k=0, k=1
+// and (by monotonicity) k=F-1. On success the per-event (base0, stride)
+// pairs are left in the scratch. The register writes it performs are the
+// same the tape itself would make and are re-made by whichever path runs
+// next, so a failed probe contaminates nothing.
+func (t *threadCtx) probeAffine(p *macroPlan, lo, F int64) bool {
+	indEnd := float64(lo) + float64(F-1)*float64(p.W)
+	if indEnd >= mbBound || float64(lo) <= -mbBound {
+		return false
+	}
+	for _, off := range p.tapeIns {
+		v := t.regs[off]
+		if v != math.Trunc(v) || v >= mbBound || v <= -mbBound {
+			return false
+		}
+	}
+	t.evalTapeAt(p, lo, 0, t.mb.tape0)
+	t.evalTapeAt(p, lo, 1, t.mb.tape1)
+	fk := float64(F - 1)
+	for si := range p.p1 {
+		v0, v1 := t.mb.tape0[si], t.mb.tape1[si]
+		if v0 != math.Trunc(v0) || v1 != math.Trunc(v1) {
+			return false
+		}
+		vEnd := v0 + fk*(v1-v0)
+		if v0 >= mbBound || v0 <= -mbBound || v1 >= mbBound || v1 <= -mbBound ||
+			vEnd >= mbBound || vEnd <= -mbBound {
+			return false
+		}
+	}
+	for si := range p.p1 {
+		st := &p.p1[si]
+		if st.capture {
+			b0 := int64(t.mb.tape0[si])
+			t.mb.b0[st.mem] = b0
+			t.mb.bs[st.mem] = int64(t.mb.tape1[si]) - b0
+		}
+	}
+	return true
+}
+
+// lineRun refreshes event j's touched line pair for block-relative
+// iteration r and computes the next iteration at which it changes (clamped
+// to cnt): bases advance by a constant byte stride, so the first and last
+// lines each cross a boundary at an analytically known iteration.
+func (t *threadCtx) lineRun(p *macroPlan, j int, kStart, r, cnt, lineBytes int64) {
+	mb := &t.mb
+	ev := &p.mem[j]
+	eb := int64(ev.bi.eb)
+	base := mb.b0[j] + (kStart+r)*mb.bs[j]
+	bb := int64(ev.bi.arr.Base) + base*eb
+	lastB := bb + (int64(p.W)-1)*eb
+	fl := int64(t.e.lineOf(uint64(bb)))
+	ll := int64(t.e.lineOf(uint64(lastB)))
+	mb.firstL[j], mb.lastL[j] = uint64(fl), uint64(ll)
+	sb := mb.bs[j] * eb
+	if sb == 0 {
+		mb.nextChg[j] = cnt
+		return
+	}
+	var d int64
+	if sb > 0 {
+		d1 := (fl + lineBytes - bb + sb - 1) / sb
+		d2 := (ll + lineBytes - lastB + sb - 1) / sb
+		d = min(d1, d2)
+	} else {
+		d1 := (bb - fl - sb) / -sb
+		d2 := (lastB - ll - sb) / -sb
+		d = min(d1, d2)
+	}
+	nc := r + d
+	if nc > cnt {
+		nc = cnt
+	}
+	mb.nextChg[j] = nc
+}
+
+// touchIterAffine replays one iteration of the stall tape in body order,
+// touching each event's current lines through its cursors.
+func (t *threadCtx) touchIterAffine(p *macroPlan) {
+	mb := &t.mb
+	lineBytes := uint64(t.e.lineBytes)
+	for si := range p.stall {
+		sv := &p.stall[si]
+		if sv.mem < 0 {
+			t.cost.stall += sv.stall
+			continue
+		}
+		j := int(sv.mem)
+		ev := &p.mem[j]
+		ci := j * curPerEv
+		for la := mb.firstL[j]; la <= mb.lastL[j]; la += lineBytes {
+			lvl, lat := t.hier.TouchLine(&mb.curs[ci], la, ev.write)
+			ci++
+			if !ev.write && lvl != cache.L1 {
+				if pen := lat - t.e.l1Latency; pen > 0 {
+					t.cost.stall += pen / ev.bi.mlp
+				}
+			}
+		}
+	}
+}
+
+// buildRun assembles one iteration's touch sequence — every event's current
+// lines, in stall-tape (body) order — for cache.TouchRun.
+func (t *threadCtx) buildRun(p *macroPlan) []cache.RunTouch {
+	mb := &t.mb
+	run := mb.runT[:0]
+	lineBytes := uint64(t.e.lineBytes)
+	for si := range p.stall {
+		sv := &p.stall[si]
+		if sv.mem < 0 {
+			continue
+		}
+		j := int(sv.mem)
+		w := p.mem[j].write
+		ci := j * curPerEv
+		for la := mb.firstL[j]; la <= mb.lastL[j]; la += lineBytes {
+			run = append(run, cache.RunTouch{Cur: &mb.curs[ci], Write: w})
+			ci++
+		}
+	}
+	mb.runT = run
+	return run
+}
+
+// replayAffine runs the closed-form replay. Structure per block: analytic
+// conflict and alignment accounting, the stall/cache pass with stretch
+// bulking, then the shared bulk and vertical passes. Bounds are handled
+// up front by clamping F to the longest in-bounds prefix — bases are
+// monotone in k, so the first faulting iteration is analytic, and
+// interpretation resumes there to reproduce the exact error.
+func (t *threadCtx) replayAffine(p *macroPlan, lo, F int64) int64 {
+	W := int64(p.W)
+	mb := &t.mb
+
+	for j := range p.mem {
+		b0, s := mb.b0[j], mb.bs[j]
+		lim := int64(len(p.mem[j].bi.arr.Data)) - W
+		var ok int64
+		switch {
+		case b0 < 0 || b0 > lim:
+			ok = 0
+		case s > 0:
+			ok = (lim-b0)/s + 1
+		case s < 0:
+			ok = b0/(-s) + 1
+		default:
+			ok = F
+		}
+		if ok < F {
+			F = ok
+		}
+	}
+
+	kDone := int64(0)
+	lastRow := -1
+	lineBytes := int64(t.e.lineBytes)
+	nm := len(p.mem)
+
+	for kStart := int64(0); kStart < F; kStart += mbBlock {
+		cnt := F - kStart
+		if cnt > mbBlock {
+			cnt = mbBlock
+		}
+
+		// Aliasing: interval endpoints (bases are monotone in k) reproduce
+		// the generic path's per-block min/max exactly; any overlap abandons
+		// replay before this block mutates anything.
+		if len(p.conflicts) > 0 {
+			for j := 0; j < nm; j++ {
+				bS := mb.b0[j] + kStart*mb.bs[j]
+				bE := mb.b0[j] + (kStart+cnt-1)*mb.bs[j]
+				if bS > bE {
+					bS, bE = bE, bS
+				}
+				mb.lo[j], mb.hi[j] = bS, bE
+			}
+			for _, c := range p.conflicts {
+				aLo, aHi := mb.lo[c.a], mb.hi[c.a]+W
+				bLo, bHi := mb.lo[c.b], mb.hi[c.b]+W
+				if aLo < bHi && bLo < aHi {
+					return t.mbFinalize(p, lo, kDone, lastRow)
+				}
+			}
+		}
+
+		alignCnt := int64(0)
+		if p.hasAlign {
+			for j := 0; j < nm; j++ {
+				if !p.mem[j].align {
+					continue
+				}
+				b, s := mb.b0[j]+kStart*mb.bs[j], mb.bs[j]
+				if s%W == 0 {
+					if b%W != 0 {
+						alignCnt += cnt
+					}
+					continue
+				}
+				for r := int64(0); r < cnt; r++ {
+					if (b+r*s)%W != 0 {
+						alignCnt++
+					}
+				}
+			}
+		}
+
+		// Pass 1b with stretch bulking: iterate line-change boundaries;
+		// touch the first iteration of each stretch through the cursors
+		// (seating them and advancing the prefetcher), then advance the
+		// rest of the stretch in closed form when every touch would take
+		// the fast path, falling back to per-iteration touches otherwise.
+		for j := 0; j < nm; j++ {
+			mb.nextChg[j] = 0
+		}
+		for r := int64(0); r < cnt; {
+			se := cnt
+			for j := 0; j < nm; j++ {
+				if mb.nextChg[j] <= r {
+					t.lineRun(p, j, kStart, r, cnt, lineBytes)
+				}
+				if mb.nextChg[j] < se {
+					se = mb.nextChg[j]
+				}
+			}
+			t.touchIterAffine(p)
+			r++
+			if r < se {
+				if t.hier.TouchRun(t.buildRun(p), se-r) {
+					for q := r; q < se; q++ {
+						for _, v := range p.constStalls {
+							t.cost.stall += v
+						}
+					}
+					r = se
+				} else {
+					for ; r < se; r++ {
+						t.touchIterAffine(p)
+					}
+				}
+			}
+		}
+
+		t.bulkBlock(p, kStart, cnt, alignCnt)
+
+		// Materialize load/store bases for the vertical pass.
+		for _, vs := range p.vsteps {
+			if vs.kind != vsLoad && vs.kind != vsStore {
+				continue
+			}
+			j := int(vs.idx)
+			b, s := mb.b0[j]+kStart*mb.bs[j], mb.bs[j]
+			row := mb.bases[j*mbBlock : j*mbBlock+int(cnt)]
+			for r := range row {
+				row[r] = b
+				b += s
+			}
+		}
+		t.fillInd(p, lo, kStart, cnt)
+		t.vertical(p, cnt)
+
+		kDone = kStart + cnt
+		lastRow = int(cnt) - 1
+	}
+
+	return t.mbFinalize(p, lo, kDone, lastRow)
+}

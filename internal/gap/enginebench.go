@@ -52,7 +52,7 @@ func EngineBench(cfg Config) (*report.Snapshot, error) {
 	for _, b := range bs {
 		n := SizeFor(b, cfg)
 		for _, v := range vs {
-			c := Cell{Bench: b, Version: v, Machine: m, N: n}
+			c := Cell{Bench: b, Version: v, Machine: m, N: n, Macroblock: cfg.Macroblock}
 			threads := c.threads()
 			var wall float64
 			var instrs uint64
@@ -68,7 +68,7 @@ func EngineBench(cfg Config) (*report.Snapshot, error) {
 				}
 				start := time.Now()
 				res, err := exec.Run(inst.Prog, inst.Arrays, m,
-					exec.Options{Threads: threads})
+					exec.Options{Threads: threads, Macroblock: c.macroblock()})
 				wall += time.Since(start).Seconds()
 				if err != nil {
 					return nil, err
@@ -80,6 +80,7 @@ func EngineBench(cfg Config) (*report.Snapshot, error) {
 				Version:         v.String(),
 				Machine:         m.Name,
 				N:               n,
+				Macroblock:      c.macroblock(),
 				Runs:            engineBenchRounds,
 				WallSeconds:     wall,
 				SimInstrs:       instrs,

@@ -23,7 +23,8 @@ type cellKey struct {
 	Version    string
 	Machine    string
 	N          int
-	Threads    int // 0 = version default
+	Threads    int    // 0 = version default
+	Macroblock string // normalized engine mode ("auto", "on", "off")
 	NoPrefetch bool
 	Skip       bool
 }

@@ -30,6 +30,7 @@ type CellSpec struct {
 	Machine         json.RawMessage `json:"machine"`
 	N               int             `json:"n"`
 	Threads         int             `json:"threads,omitempty"`
+	Macroblock      string          `json:"macroblock,omitempty"`
 	DisablePrefetch bool            `json:"disable_prefetch,omitempty"`
 	SkipCheck       bool            `json:"skip_check,omitempty"`
 }
@@ -66,6 +67,7 @@ func (c Cell) spec(skipCheck bool) (CellSpec, error) {
 		Machine:         mb,
 		N:               c.N,
 		Threads:         c.Threads,
+		Macroblock:      c.macroblock(),
 		DisablePrefetch: c.DisablePrefetch,
 		SkipCheck:       skipCheck,
 	}, nil
@@ -87,7 +89,8 @@ func (s CellSpec) cell() (Cell, error) {
 	}
 	return Cell{
 		Bench: b, Version: v, Machine: m, N: s.N,
-		Threads: s.Threads, DisablePrefetch: s.DisablePrefetch,
+		Threads: s.Threads, Macroblock: s.Macroblock,
+		DisablePrefetch: s.DisablePrefetch,
 	}, nil
 }
 

@@ -28,6 +28,12 @@ type Cell struct {
 	Threads int
 	// DisablePrefetch turns the hardware prefetcher off (ablation E9).
 	DisablePrefetch bool
+	// Macroblock selects the engine's macro-block execution mode ("on",
+	// "off", "auto"; "" = "auto"). Replay is bit-identical to full
+	// interpretation, so the mode cannot change any measured number — it
+	// is still part of the cell identity (normalized, see key) so cached
+	// entries record exactly how they were produced.
+	Macroblock string
 }
 
 // key forms the memo-cache identity of the cell. The effective thread
@@ -42,8 +48,19 @@ func (c Cell) key(skipCheck bool) cellKey {
 		N:          c.N,
 		Threads:    c.threads(),
 		NoPrefetch: c.DisablePrefetch,
+		Macroblock: c.macroblock(),
 		Skip:       skipCheck,
 	}
+}
+
+// macroblock resolves the effective macro-block mode, normalizing the ""
+// zero value to "auto" (exec treats them identically) so a default cell
+// and an explicit auto cell share one cache entry.
+func (c Cell) macroblock() string {
+	if c.Macroblock == "" {
+		return "auto"
+	}
+	return c.Macroblock
 }
 
 // threads resolves the effective thread count: serial versions run one
@@ -77,7 +94,8 @@ func measureCell(ctx context.Context, c Cell, skipCheck bool) (*Measurement, err
 	}
 	threads := c.threads()
 	res, err := exec.Run(inst.Prog, inst.Arrays, c.Machine,
-		exec.Options{Threads: threads, DisablePrefetch: c.DisablePrefetch})
+		exec.Options{Threads: threads, DisablePrefetch: c.DisablePrefetch,
+			Macroblock: c.macroblock()})
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s on %s: %w", c.Bench.Name(), c.Version, c.Machine.Name, err)
 	}
@@ -105,6 +123,9 @@ type Scheduler struct {
 	memo      *Memo
 	skipCheck bool
 	remote    Remote
+	// macroblock is the default engine execution mode stamped onto cells
+	// that do not set one themselves (see Config.Macroblock).
+	macroblock string
 }
 
 // NewScheduler builds a scheduler with its own memo cache. jobs bounds
@@ -122,6 +143,7 @@ func NewScheduler(jobs int, memo *Memo, skipCheck bool) *Scheduler {
 func (c Config) scheduler() *Scheduler {
 	s := NewScheduler(c.Jobs, sharedMemo, c.SkipCheck)
 	s.remote = c.remote
+	s.macroblock = c.Macroblock
 	return s
 }
 
@@ -147,6 +169,9 @@ func (s *Scheduler) workers(n int) int {
 // so a dead or drained fleet never fails a run it could have computed
 // itself.
 func (s *Scheduler) measure(ctx context.Context, c Cell) (*Measurement, error) {
+	if c.Macroblock == "" {
+		c.Macroblock = s.macroblock // "" stays "" -> normalized to "auto" in key
+	}
 	key := c.key(s.skipCheck)
 	return s.memo.do(ctx, key, func() (*Measurement, error) {
 		if s.remote != nil {

@@ -110,6 +110,10 @@ type WallclockRecord struct {
 	Version string `json:"version"`
 	Machine string `json:"machine"`
 	N       int    `json:"n"`
+	// Macroblock records the engine execution mode the timing ran under
+	// ("auto", "on", "off") — simulated numbers are identical across
+	// modes, wall-clock rates are not.
+	Macroblock string `json:"macroblock,omitempty"`
 	// Runs is how many back-to-back executions the wall time covers.
 	Runs int `json:"runs"`
 	// WallSeconds is the total host wall-clock time of Runs executions
