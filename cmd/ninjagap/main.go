@@ -17,6 +17,10 @@
 //	bench-export               write a BENCH_results.json perf snapshot
 //	engine-bench               bench-export plus simulator wall-clock timings
 //	run -bench B -version V    one measured run
+//	submit FILE                measure a user kernel source file across the
+//	                           machine presets (same pipeline, limits and
+//	                           memoization as ninjagapd's POST /v1/submit;
+//	                           see docs/SUBMIT_API.md)
 //	list                       benchmarks, versions, machines
 //
 // Flags:
@@ -41,9 +45,12 @@
 //	             (bench-export default: BENCH_results.json)
 //	-machine M   machine for `run` (default WestmereX980)
 //	-n N         problem size for `run` (default benchmark's evaluation size)
+//	-machines A,B  machine subset for `submit` (default all presets)
+//	-versions V,W  version subset for `submit` (default naive,autovec,pragma)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,6 +62,7 @@ import (
 
 	"ninjagap"
 	"ninjagap/internal/report"
+	"ninjagap/internal/submit"
 )
 
 func main() {
@@ -72,6 +80,8 @@ func main() {
 	outFile := fs.String("out", "", "write output to file instead of stdout")
 	machineName := fs.String("machine", "WestmereX980", "machine for `run`")
 	version := fs.String("version", "naive", "version for `run`")
+	machinesArg := fs.String("machines", "", "comma-separated machine subset for `submit` (default all)")
+	versionsArg := fs.String("versions", "", "comma-separated version subset for `submit` (default naive,autovec,pragma)")
 	n := fs.Int("n", 0, "problem size for `run` (0 = evaluation size)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to `file`")
@@ -142,10 +152,73 @@ func main() {
 		cfg.Format = "text"
 	}
 
+	if cmd == "submit" {
+		if err := runSubmit(cfg, *outFile, *machinesArg, *versionsArg, fs.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "ninjagap:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(cmd, cfg, *outFile, *machineName, *version, *n); err != nil {
 		fmt.Fprintln(os.Stderr, "ninjagap:", err)
 		os.Exit(1)
 	}
+}
+
+// runSubmit measures one user-submitted kernel source file through
+// internal/submit — the exact code path behind ninjagapd's POST
+// /v1/submit, so the -json output here is byte-identical to the daemon's
+// response body for the same request, and -cache-dir memoizes the whole
+// response under the ninjagap-submit/v1 key family.
+func runSubmit(cfg ninjagap.Config, outFile, machines, versions string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("submit needs exactly one kernel source file (flags go before it: ninjagap submit -machines A,B FILE)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	req := submit.Request{Source: string(src)}
+	if machines != "" {
+		req.Machines = strings.Split(machines, ",")
+	}
+	if versions != "" {
+		req.Versions = strings.Split(versions, ",")
+	}
+	out, err := submit.NewService(submit.DefaultLimits()).Process(context.Background(), req, cfg)
+	if err != nil {
+		return err
+	}
+	w := io.Writer(os.Stdout)
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch cfg.Format {
+	case "json":
+		_, err = w.Write(out.Body)
+	case "text", "":
+		var resp submit.Response
+		if err := json.Unmarshal(out.Body, &resp); err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, submit.RenderText(&resp))
+	default:
+		return fmt.Errorf("submit supports text or json output")
+	}
+	if err != nil {
+		return err
+	}
+	memo := "miss"
+	if out.MemoHit {
+		memo = "hit"
+	}
+	fmt.Fprintf(os.Stderr, "ninjagap: submit computed %d cells (response memo %s)\n", out.Computed, memo)
+	return nil
 }
 
 func run(cmd string, cfg ninjagap.Config, outFile, machineName, version string, n int) error {
@@ -336,9 +409,9 @@ func listOutput() output {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: ninjagap <command> [flags]
 commands: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 ablate all
-          bench-export engine-bench run list
+          bench-export engine-bench run submit list
 flags:    -scale F|smoke|small|medium|full  -bench a,b,c  -jobs N  -json
           -format text|json|csv  -out FILE  -machine M  -version V  -n N
-          -cache-dir DIR  -macroblock on|off|auto  -cpuprofile FILE
-          -memprofile FILE`)
+          -machines A,B  -versions V,W  -cache-dir DIR
+          -macroblock on|off|auto  -cpuprofile FILE  -memprofile FILE`)
 }

@@ -16,6 +16,9 @@
 //	GET /v1/figure/{fig1..fig8,ablate}  one evaluation figure
 //	GET /v1/table/{table1,table2}       one characterization table
 //	GET /v1/snapshot                    the ninjagap-bench/v1 grid snapshot
+//	POST /v1/submit                     compile + measure user kernel source
+//	                                    (raw source or JSON body; see
+//	                                    docs/SUBMIT_API.md)
 //
 // Figure/table/snapshot responses default to JSON and are byte-identical
 // to `ninjagap <cmd> -json` at the same scale/jobs; `?format=text` and
@@ -44,6 +47,9 @@
 //	-hedge D           straggler re-dispatch delay in coordinator mode (2s)
 //	-cell-inflight N   concurrent /v1/cell executions served as a worker
 //	                   (GOMAXPROCS)
+//	-submit-max-bytes N  /v1/submit source + body byte cap (65536); the
+//	                   other submission limits (AST size, loop depth,
+//	                   trip count, simulated work) are fixed defaults
 //
 // A burst of requests beyond -max-inflight + -max-queue receives 503
 // (with Retry-After) rather than spawning unbounded worker pools; a
@@ -85,6 +91,7 @@ func main() {
 	workers := flag.String("workers", "", "coordinator mode: comma-separated worker daemon addresses")
 	hedge := flag.Duration("hedge", 2*time.Second, "coordinator straggler re-dispatch delay")
 	cellInFlight := flag.Int("cell-inflight", 0, "concurrent /v1/cell executions as a worker (0 = GOMAXPROCS)")
+	submitMaxBytes := flag.Int("submit-max-bytes", 0, "/v1/submit source byte cap (0 = 65536)")
 	macroblock := flag.String("macroblock", "auto", "macro-block engine mode: on, off, or auto (bit-identical output; wall-clock only)")
 	flag.Parse()
 	switch *macroblock {
@@ -133,6 +140,7 @@ func main() {
 		CellInFlight:   *cellInFlight,
 		Macroblock:     *macroblock,
 	}
+	cfg.Submit.MaxSourceBytes = *submitMaxBytes
 	if *benches != "" {
 		cfg.Benches = strings.Split(*benches, ",")
 	}

@@ -54,6 +54,27 @@ func PragmaOptions() Options {
 		MaxAliasCheckArrays: 3, FastMath: true}
 }
 
+// Levels names the option presets in effort order. These are the
+// compilation levels the submission service measures a user kernel at;
+// the built-in benchmark versions map onto the same presets.
+func Levels() []string { return []string{"naive", "autovec", "pragma"} }
+
+// ByLevel resolves a preset by name — the per-submission options
+// surface: callers that receive a level from outside (the /v1/submit
+// request, the ninjagap submit command) select options by name instead
+// of hard-coding preset constructors.
+func ByLevel(name string) (Options, error) {
+	switch name {
+	case "naive":
+		return NaiveOptions(), nil
+	case "autovec":
+		return AutoVecOptions(), nil
+	case "pragma":
+		return PragmaOptions(), nil
+	}
+	return Options{}, fmt.Errorf("compiler: unknown level %q (want naive, autovec or pragma)", name)
+}
+
 // Result is a compiled kernel plus its vectorization report.
 type Result struct {
 	Prog   *vm.Prog

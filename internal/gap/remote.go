@@ -33,6 +33,15 @@ type CellSpec struct {
 	Macroblock      string          `json:"macroblock,omitempty"`
 	DisablePrefetch bool            `json:"disable_prefetch,omitempty"`
 	SkipCheck       bool            `json:"skip_check,omitempty"`
+
+	// Source, when non-empty, is the canonical source of a user-submitted
+	// kernel (kernels.Submitted): Bench then names no registered
+	// benchmark, and the worker reconstructs the kernel from this source
+	// instead — dynamic registration over the wire. The reconstruction is
+	// verified: a submitted kernel's name is derived from its canonical
+	// source, so a worker whose rebuilt name disagrees with Bench rejects
+	// the spec instead of measuring the wrong program.
+	Source string `json:"source,omitempty"`
 }
 
 // Remote executes one cell somewhere else. key is the cell's canonical
@@ -61,7 +70,7 @@ func (c Cell) spec(skipCheck bool) (CellSpec, error) {
 	if err != nil {
 		return CellSpec{}, err
 	}
-	return CellSpec{
+	spec := CellSpec{
 		Bench:           c.Bench.Name(),
 		Version:         c.Version.String(),
 		Machine:         mb,
@@ -70,13 +79,35 @@ func (c Cell) spec(skipCheck bool) (CellSpec, error) {
 		Macroblock:      c.macroblock(),
 		DisablePrefetch: c.DisablePrefetch,
 		SkipCheck:       skipCheck,
-	}, nil
+	}
+	if sb, ok := c.Bench.(sourceBench); ok {
+		spec.Source = sb.SubmitSource()
+	}
+	return spec, nil
+}
+
+// sourceBench is implemented by benchmarks that carry their own source
+// (kernels.Submitted); their cells ship it to workers instead of relying
+// on the registry.
+type sourceBench interface {
+	kernels.Benchmark
+	SubmitSource() string
 }
 
 // cell reconstructs the executable cell from a wire spec (worker side).
 func (s CellSpec) cell() (Cell, error) {
-	b, err := kernels.ByName(s.Bench)
-	if err != nil {
+	var b kernels.Benchmark
+	var err error
+	if s.Source != "" {
+		sub, serr := kernels.FromSource(s.Source)
+		if serr != nil {
+			return Cell{}, fmt.Errorf("gap: submitted cell source: %w", serr)
+		}
+		if sub.Name() != s.Bench {
+			return Cell{}, fmt.Errorf("gap: submitted cell names %q but its source hashes to %q", s.Bench, sub.Name())
+		}
+		b = sub
+	} else if b, err = kernels.ByName(s.Bench); err != nil {
 		return Cell{}, err
 	}
 	v, ok := versionByName(s.Version)

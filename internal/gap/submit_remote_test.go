@@ -1,0 +1,69 @@
+package gap
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ninjagap/internal/kernels"
+	"ninjagap/internal/machine"
+)
+
+const submittedWireSrc = `kernel scale(f32 restrict x[256], f32 restrict y[256]) {
+	#pragma simd
+	for (i = 0; i < 256; i++) {
+		y[i] = 2 * x[i] + y[i];
+	}
+}`
+
+// Submitted cells must survive the coordinator wire: spec() ships the
+// canonical source, the worker rebuilds the benchmark from it (no
+// registry entry exists), and the key-validated result decodes on the
+// coordinator side.
+func TestSubmittedCellSpecRoundTrip(t *testing.T) {
+	ResetMemo()
+	t.Cleanup(ResetMemo)
+	b, err := kernels.FromSource(submittedWireSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Cell{Bench: b, Version: kernels.AutoVec, Machine: machine.WestmereX980(), N: b.DefaultN()}
+	spec, err := c.spec(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Source == "" {
+		t.Fatal("spec carries no source for a submitted benchmark")
+	}
+	if !strings.HasPrefix(spec.Bench, "submit:") {
+		t.Fatalf("spec bench %q", spec.Bench)
+	}
+	// Through the wire encoding, as the coordinator's POST body would.
+	wire, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CellSpec
+	if err := json.Unmarshal(wire, &back); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ExecuteCellSpec(context.Background(), back, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := DecodeCellResult(raw, c.key(true).String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bench != b.Name() || m.Res.Seconds <= 0 {
+		t.Errorf("measurement %s seconds %g", m.Bench, m.Res.Seconds)
+	}
+
+	// A spec whose declared bench name disagrees with its source hash is
+	// rejected loudly, not silently re-filed.
+	back.Bench = "submit:0000000000000000"
+	if _, err := ExecuteCellSpec(context.Background(), back, 2); err == nil {
+		t.Error("mismatched bench name accepted")
+	}
+}

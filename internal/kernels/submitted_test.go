@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+
+	"ninjagap/internal/machine"
+)
+
+const submittedSrc = `kernel scale(f32 restrict x[512], f32 restrict y[512]) {
+	#pragma simd
+	for (i = 0; i < 512; i++) {
+		y[i] = 3 * x[i];
+	}
+}`
+
+func TestSubmittedContentAddressing(t *testing.T) {
+	a, err := FromSource(submittedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Formatting-only edits produce the same benchmark identity.
+	b, err := FromSource("// c\n" + strings.ReplaceAll(submittedSrc, "3 * x[i]", "3*x[i]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != b.Name() || a.SourceHash() != b.SourceHash() {
+		t.Errorf("formatting changed identity: %s/%s vs %s/%s", a.Name(), a.SourceHash(), b.Name(), b.SourceHash())
+	}
+	if !strings.HasPrefix(a.Name(), "submit:") {
+		t.Errorf("name %q lacks submit: prefix", a.Name())
+	}
+	// A semantic edit changes it.
+	c, err := FromSource(strings.ReplaceAll(submittedSrc, "3 * x[i]", "4 * x[i]"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() == a.Name() {
+		t.Error("semantic edit kept the same name")
+	}
+	if a.DefaultN() != 512 || a.TestN() != 512 {
+		t.Errorf("N = %d/%d, want 512", a.DefaultN(), a.TestN())
+	}
+	if _, err := ByName(a.Name()); err == nil {
+		t.Error("submitted kernel resolvable via the suite registry")
+	}
+}
+
+func TestSubmittedPrepareDeterministic(t *testing.T) {
+	s, err := FromSource(submittedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.WestmereX980()
+	i1, err := s.Prepare(AutoVec, m, s.DefaultN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := s.Prepare(AutoVec, m, s.DefaultN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, a1 := range i1.Arrays {
+		a2 := i2.Arrays[name]
+		if a2 == nil {
+			t.Fatalf("array %s missing from second instance", name)
+		}
+		for i := range a1.Data {
+			if a1.Data[i] != a2.Data[i] {
+				t.Fatalf("array %s differs at %d: %v vs %v", name, i, a1.Data[i], a2.Data[i])
+			}
+			if a1.Data[i] < 1 || a1.Data[i] >= 2 {
+				t.Fatalf("array %s[%d] = %v outside [1,2)", name, i, a1.Data[i])
+			}
+		}
+	}
+	if i1.Report == nil {
+		t.Error("no vectorization report")
+	}
+	if err := i1.Check(); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestSubmittedRejectsHandWrittenVersions(t *testing.T) {
+	s, err := FromSource(submittedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.WestmereX980()
+	for _, v := range []Version{Algo, Ninja} {
+		if _, err := s.Prepare(v, m, s.DefaultN()); err == nil {
+			t.Errorf("Prepare(%s) accepted", v)
+		}
+	}
+	for _, v := range SubmitVersions() {
+		if _, err := s.Prepare(v, m, s.DefaultN()); err != nil {
+			t.Errorf("Prepare(%s): %v", v, err)
+		}
+	}
+}

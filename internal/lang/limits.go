@@ -1,0 +1,170 @@
+package lang
+
+// Submission-facing admission control: the canonical source form that
+// identifies a submitted kernel for memoization, and the hard size/shape
+// limits enforced before an untrusted kernel reaches the compiler or the
+// engine. Built-in benchmarks never pass through here; only
+// internal/submit (and its tests) do.
+
+import "fmt"
+
+// Normalize parses src and returns its canonical form: the AST printed
+// back as source (Kernel.Print). Whitespace, comments and formatting
+// vanish in the round trip while every semantic element — declarations,
+// all pragmas, statement structure, literals — survives, so two sources
+// with the same canonical form compile identically. The canonical form
+// (hashed) is therefore the memoization identity of submitted kernels.
+func Normalize(src string) (canonical string, k *Kernel, err error) {
+	k, err = Parse(src)
+	if err != nil {
+		return "", nil, err
+	}
+	return k.Print(), k, nil
+}
+
+// SourceStats are the size and shape measures of a parsed kernel that
+// submission admission control bounds.
+type SourceStats struct {
+	// Nodes counts AST nodes: statements plus the expressions inside them.
+	Nodes int
+	// LoopDepth is the maximum For/While nesting depth.
+	LoopDepth int
+	// ArrayElems is the total flat element count across declared arrays —
+	// the kernel's memory footprint in elements.
+	ArrayElems int
+	// MaxTrip is the largest single-loop trip-count estimate.
+	MaxTrip float64
+	// Work estimates the kernel's total simulated statement executions:
+	// each statement weighted by the trip product of its enclosing loops.
+	// A For with non-constant bounds is charged the kernel's largest
+	// array length; a While is charged whileTripEstimate iterations.
+	Work float64
+}
+
+// whileTripEstimate is the per-While iteration charge used by the work
+// estimate: data-dependent loops (binary search, Newton iterations) have
+// no static trip count, so admission assumes a generous fixed one.
+const whileTripEstimate = 64
+
+// Analyze computes a kernel's SourceStats in one AST walk.
+func Analyze(k *Kernel) SourceStats {
+	st := SourceStats{}
+	fallbackTrip := 1.0
+	for _, a := range k.Arrays {
+		st.ArrayElems += a.FlatLen()
+		if fl := float64(a.Len); fl > fallbackTrip {
+			fallbackTrip = fl
+		}
+	}
+	var walk func(body []Stmt, depth int, iters float64)
+	walk = func(body []Stmt, depth int, iters float64) {
+		if depth > st.LoopDepth {
+			st.LoopDepth = depth
+		}
+		for _, s := range body {
+			st.Nodes++
+			st.Work += iters
+			switch x := s.(type) {
+			case Let:
+				st.Nodes += exprNodes(x.X)
+			case Assign:
+				st.Nodes += exprNodes(x.LHS) + exprNodes(x.X)
+			case For:
+				st.Nodes += exprNodes(x.Lo) + exprNodes(x.Hi)
+				trips := fallbackTrip
+				if lo, okLo := EvalConst(x.Lo); okLo {
+					if hi, okHi := EvalConst(x.Hi); okHi {
+						trips = hi - lo
+						if trips < 0 {
+							trips = 0
+						}
+					}
+				}
+				if trips > st.MaxTrip {
+					st.MaxTrip = trips
+				}
+				walk(x.Body, depth+1, iters*trips)
+			case If:
+				st.Nodes += exprNodes(x.Cond)
+				walk(x.Then, depth, iters)
+				walk(x.Else, depth, iters)
+			case While:
+				st.Nodes += exprNodes(x.Cond)
+				if whileTripEstimate > st.MaxTrip {
+					st.MaxTrip = whileTripEstimate
+				}
+				walk(x.Body, depth+1, iters*whileTripEstimate)
+			}
+		}
+	}
+	walk(k.Body, 0, 1)
+	return st
+}
+
+// exprNodes counts the nodes of one expression tree.
+func exprNodes(e Expr) int {
+	switch x := e.(type) {
+	case Bin:
+		return 1 + exprNodes(x.L) + exprNodes(x.R)
+	case Access:
+		return 1 + exprNodes(x.Idx)
+	case Call:
+		n := 1
+		for _, a := range x.Args {
+			n += exprNodes(a)
+		}
+		return n
+	case nil:
+		return 0
+	default: // Num, Var
+		return 1
+	}
+}
+
+// Limits caps a submitted kernel's SourceStats. Every field must be
+// positive; use DefaultLimits for the service defaults.
+type Limits struct {
+	// MaxNodes caps the AST size.
+	MaxNodes int
+	// MaxLoopDepth caps loop nesting (well below Validate's structural
+	// cap of 12: no paper kernel nests loops deeper than 4).
+	MaxLoopDepth int
+	// MaxArrayElems caps the total declared array footprint in elements.
+	MaxArrayElems int
+	// MaxTrip caps any single loop's estimated trip count.
+	MaxTrip float64
+	// MaxWork caps the kernel's estimated simulated statement executions
+	// for one execution (one measurement cell).
+	MaxWork float64
+}
+
+// DefaultLimits returns the submission service's default caps: roomy
+// enough for every kernel shape the paper studies, small enough that one
+// admitted cell simulates in well under a second.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxNodes:      4096,
+		MaxLoopDepth:  4,
+		MaxArrayElems: 1 << 22, // 4 Mi elements ≈ 32 MiB of engine state
+		MaxTrip:       1 << 20,
+		MaxWork:       1 << 24,
+	}
+}
+
+// Check rejects stats that exceed any cap. The error names the violated
+// limit and both values, and is safe to return verbatim to the submitter.
+func (l Limits) Check(st SourceStats) error {
+	switch {
+	case st.Nodes > l.MaxNodes:
+		return fmt.Errorf("kernel has %d AST nodes (limit %d)", st.Nodes, l.MaxNodes)
+	case st.LoopDepth > l.MaxLoopDepth:
+		return fmt.Errorf("kernel nests loops %d deep (limit %d)", st.LoopDepth, l.MaxLoopDepth)
+	case st.ArrayElems > l.MaxArrayElems:
+		return fmt.Errorf("kernel declares %d array elements (limit %d)", st.ArrayElems, l.MaxArrayElems)
+	case st.MaxTrip > l.MaxTrip:
+		return fmt.Errorf("kernel has a loop with %.0f iterations (limit %.0f)", st.MaxTrip, l.MaxTrip)
+	case st.Work > l.MaxWork:
+		return fmt.Errorf("kernel simulates ~%.3g statement executions per run (limit %.3g)", st.Work, l.MaxWork)
+	}
+	return nil
+}

@@ -47,8 +47,24 @@ type parser struct {
 	arrays map[string]*Array
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// cur and next clamp at the trailing tokEOF sentinel: a production that
+// consumes EOF while looking for more input (truncated source) keeps
+// reading EOF and reports a parse error instead of running off the
+// token slice — Parse must return an error on any input, never panic.
+func (p *parser) cur() token {
+	if p.pos >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.cur()
+	if p.pos < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) errf(format string, args ...interface{}) error {
 	return fmt.Errorf("line %d: %s", p.cur().line, fmt.Sprintf(format, args...))

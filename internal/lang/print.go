@@ -6,7 +6,12 @@ import (
 )
 
 // Print renders the kernel as C-like pseudocode, used by the ninjavec tool
-// to show what each source version looks like.
+// to show what each source version looks like. The rendering is total:
+// every semantic element of the AST — including the schedule(dynamic) and
+// miss() pragmas — appears in the output, so two kernels with different
+// Print strings compile differently and two with the same string compile
+// identically. lang.Normalize relies on this to use Print as the
+// canonical form (and memo identity) of submitted sources.
 func (k *Kernel) Print() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "kernel %s(\n", k.Name)
@@ -49,6 +54,9 @@ func printStmts(sb *strings.Builder, body []Stmt, depth int) {
 			if st.Unroll > 1 {
 				pragmas = append(pragmas, fmt.Sprintf("#pragma unroll(%d)", st.Unroll))
 			}
+			if st.Chunk > 0 {
+				pragmas = append(pragmas, fmt.Sprintf("#pragma schedule(dynamic, %d)", st.Chunk))
+			}
 			for _, p := range pragmas {
 				fmt.Fprintf(sb, "%s%s\n", ind, p)
 			}
@@ -57,6 +65,9 @@ func printStmts(sb *strings.Builder, body []Stmt, depth int) {
 			printStmts(sb, st.Body, depth+1)
 			fmt.Fprintf(sb, "%s}\n", ind)
 		case If:
+			if st.MissProb > 0 {
+				fmt.Fprintf(sb, "%s#pragma miss(%s)\n", ind, trimFloat(st.MissProb))
+			}
 			fmt.Fprintf(sb, "%sif (%s) {\n", ind, ExprString(st.Cond))
 			printStmts(sb, st.Then, depth+1)
 			if len(st.Else) > 0 {
@@ -65,6 +76,9 @@ func printStmts(sb *strings.Builder, body []Stmt, depth int) {
 			}
 			fmt.Fprintf(sb, "%s}\n", ind)
 		case While:
+			if st.MissProb > 0 {
+				fmt.Fprintf(sb, "%s#pragma miss(%s)\n", ind, trimFloat(st.MissProb))
+			}
 			fmt.Fprintf(sb, "%swhile (%s) {\n", ind, ExprString(st.Cond))
 			printStmts(sb, st.Body, depth+1)
 			fmt.Fprintf(sb, "%s}\n", ind)

@@ -52,6 +52,14 @@ type metrics struct {
 	timeouts  atomic.Int64 // 504s from request deadlines
 	endpoints map[string]*endpointMetrics
 
+	// Submission outcome counters (POST /v1/submit). Every finished
+	// submission increments exactly one of accepted / rejected / compile
+	// errors; memo hits are a subset of accepted.
+	submitAccepted      atomic.Int64 // responses served (fresh or memoized)
+	submitRejected      atomic.Int64 // limit/parse/request rejections (413, 400, 422)
+	submitMemoHits      atomic.Int64 // responses served from the submit memo
+	submitCompileErrors atomic.Int64 // 422s from the compiler proper
+
 	// pool is the coordinator's worker fleet, nil outside coordinator
 	// mode; its shard/hedge/fallback counters are reported under
 	// "coordinator".
@@ -104,6 +112,12 @@ func (m *metrics) snapshot() ([]byte, error) {
 			Rejected  int64 `json:"rejected_queue_full"`
 			Timeouts  int64 `json:"timeouts"`
 		} `json:"requests"`
+		Submit struct {
+			Accepted      int64 `json:"accepted"`
+			Rejected      int64 `json:"rejected_by_limit"`
+			MemoHits      int64 `json:"memo_hits"`
+			CompileErrors int64 `json:"compile_errors"`
+		} `json:"submit"`
 		Coordinator *coordinator        `json:"coordinator,omitempty"`
 		Endpoints   map[string]endpoint `json:"endpoints"`
 	}{
@@ -116,6 +130,10 @@ func (m *metrics) snapshot() ([]byte, error) {
 	doc.Requests.Completed = m.completed.Load()
 	doc.Requests.Rejected = m.rejected.Load()
 	doc.Requests.Timeouts = m.timeouts.Load()
+	doc.Submit.Accepted = m.submitAccepted.Load()
+	doc.Submit.Rejected = m.submitRejected.Load()
+	doc.Submit.MemoHits = m.submitMemoHits.Load()
+	doc.Submit.CompileErrors = m.submitCompileErrors.Load()
 	if m.pool != nil {
 		c := &coordinator{Workers: len(m.pool.Workers())}
 		c.RemoteCells, c.Hedged, c.Failures, c.Fallbacks = m.pool.Stats()

@@ -6,6 +6,7 @@
 //	GET /v1/figure/{id}    fig1..fig8, ablate
 //	GET /v1/table/{id}     table1, table2
 //	GET /v1/snapshot       the ninjagap-bench/v1 grid snapshot
+//	POST /v1/submit        measure user-submitted kernel source (submit.go)
 //	GET /healthz           liveness
 //	GET /metrics           memo + request counters, latency histograms
 //
@@ -43,6 +44,7 @@ import (
 	"ninjagap/internal/kernels"
 	"ninjagap/internal/machine"
 	"ninjagap/internal/report"
+	"ninjagap/internal/submit"
 )
 
 // Config parameterizes the daemon.
@@ -68,6 +70,10 @@ type Config struct {
 	// RequestTimeout is the per-request deadline plumbed into cell
 	// execution (default 2 minutes).
 	RequestTimeout time.Duration
+	// Submit bounds POST /v1/submit submissions (zero fields take
+	// submit.DefaultLimits). Submit.MaxSourceBytes doubles as the
+	// endpoint's request-body byte cap.
+	Submit submit.Limits
 
 	// Workers, when non-empty, puts the daemon in coordinator mode: the
 	// cell set of every experiment run is sharded across these worker
@@ -132,6 +138,9 @@ type Server struct {
 	// mode. Experiment configs route cell execution through it.
 	pool *Pool
 
+	// sub processes kernel submissions (POST /v1/submit).
+	sub *submit.Service
+
 	// dispatch runs an experiment driver under ctx; a test seam,
 	// gap.Dispatch in production.
 	dispatch func(ctx context.Context, id string, cfg gap.Config) (gap.Output, error)
@@ -145,12 +154,13 @@ func New(cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		cellSem: make(chan struct{}, cfg.CellInFlight),
 		pool:    NewPool(cfg.Workers, cfg.HedgeDelay),
+		sub:     submit.NewService(cfg.Submit),
 		dispatch: func(ctx context.Context, id string, cfg gap.Config) (gap.Output, error) {
 			return gap.Dispatch(id, cfg.WithContext(ctx))
 		},
 	}
 	s.met = newMetrics([]string{
-		"/healthz", "/metrics", "/v1/measure", "/v1/figure", "/v1/table", "/v1/snapshot", "/v1/cell",
+		"/healthz", "/metrics", "/v1/measure", "/v1/figure", "/v1/table", "/v1/snapshot", "/v1/cell", "/v1/submit",
 	})
 	s.met.pool = s.pool
 	mux := http.NewServeMux()
@@ -161,6 +171,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/table/{id}", s.instrument("/v1/table", s.handleTable))
 	mux.HandleFunc("GET /v1/snapshot", s.instrument("/v1/snapshot", s.handleSnapshot))
 	mux.HandleFunc("POST /v1/cell", s.instrument("/v1/cell", s.handleCell))
+	mux.HandleFunc("POST /v1/submit", s.instrument("/v1/submit", s.handleSubmit))
 	s.mux = mux
 	return s
 }
@@ -358,9 +369,8 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // to fill the worker's cores.
 func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	var req cellRequest
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	body, ok := s.readBody(w, r, maxCellBodyBytes)
+	if !ok {
 		return
 	}
 	if err := json.Unmarshal(body, &req); err != nil {
@@ -397,6 +407,31 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(entry)
+}
+
+// maxCellBodyBytes caps a /v1/cell request body. A cell spec is a few
+// KB of machine model plus, for submitted cells, a source capped far
+// below this by the submit limits.
+const maxCellBodyBytes = 1 << 20
+
+// readBody reads a POST body under a hard byte cap. A body over the cap
+// is rejected with 413 (the response is already written; the caller just
+// returns), any other read failure with 400. Unlike io.LimitReader,
+// http.MaxBytesReader makes an oversized body an explicit error instead
+// of silently truncating it into a confusing parse failure downstream.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return nil, false
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return nil, false
+	}
+	return body, true
 }
 
 // handleMeasure measures one (bench, version, machine, n, threads) cell

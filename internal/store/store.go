@@ -81,6 +81,16 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return b, true
 }
 
+// Has reports whether a non-empty entry exists under key, without
+// reading it. It is an admission-control probe (the submission service
+// counts which cells a request would actually compute), so it touches
+// neither the hit nor the miss counter.
+func (s *Store) Has(key string) bool {
+	dir, file := s.path(key)
+	fi, err := os.Stat(filepath.Join(dir, file))
+	return err == nil && fi.Size() > 0
+}
+
 // Put stores payload under key atomically: the bytes are written to a
 // temp file in the entry's shard directory and renamed into place, so
 // readers (in this or any other process) only ever observe complete

@@ -1,0 +1,46 @@
+package submit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderText renders a Response as the human-readable table the
+// `ninjagap submit` command prints: one row per measured cell, plus the
+// vectorization verdicts that explain the autovec and pragma rows.
+func RenderText(r *Response) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "kernel %s (%s, n=%d, source sha256 %s)\n\n",
+		r.Kernel, r.Bench, r.N, r.SourceSHA256[:16])
+	fmt.Fprintf(&sb, "%-14s %-8s %12s %10s %9s  %s\n",
+		"machine", "version", "seconds", "gflops", "speedup", "bound by")
+	lastMachine := ""
+	for _, c := range r.Cells {
+		name := c.Machine
+		if name == lastMachine {
+			name = ""
+		} else if lastMachine != "" {
+			sb.WriteByte('\n')
+		}
+		lastMachine = c.Machine
+		speedup := "-"
+		if c.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", c.Speedup)
+		}
+		fmt.Fprintf(&sb, "%-14s %-8s %12.3e %10.2f %9s  %s\n",
+			name, c.Version, c.Seconds, c.GFlops, speedup, c.BoundBy)
+	}
+	// The vectorization story is version-dependent but machine-independent;
+	// report it once per version, from the first machine's cells.
+	sb.WriteByte('\n')
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if c.VecReport == nil || seen[c.Version] {
+			continue
+		}
+		seen[c.Version] = true
+		fmt.Fprintf(&sb, "%s ", c.Version)
+		sb.WriteString(c.VecReport.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,155 @@
+package submit
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"ninjagap/internal/gap"
+)
+
+const testSrc = `// doubled saxpy, small enough to measure instantly
+kernel scale(f32 restrict x[256], f32 restrict y[256]) {
+    #pragma simd
+    for (i = 0; i < 256; i++) {
+        y[i] = 2 * x[i] + y[i];
+    }
+}`
+
+// testReq keeps tests fast: one machine, the full version ladder.
+func testReq(src string) Request {
+	return Request{Source: src, Machines: []string{"WestmereX980"}}
+}
+
+func resetCaches(t *testing.T) {
+	t.Cleanup(func() {
+		if err := gap.SetCacheDir(""); err != nil {
+			t.Error(err)
+		}
+		gap.ResetMemo()
+	})
+	gap.ResetMemo()
+}
+
+func TestProcessMemoizesAcrossFormatting(t *testing.T) {
+	resetCaches(t)
+	s := NewService(Limits{})
+	o1, err := s.Process(context.Background(), testReq(testSrc), gap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.MemoHit || o1.Computed == 0 {
+		t.Errorf("cold run: hit=%v computed=%d, want miss with computed cells", o1.MemoHit, o1.Computed)
+	}
+	// Comment and whitespace edits only: same canonical source, so the
+	// memo key matches and zero cells run.
+	variant := "/* resubmitted */\n" + strings.ReplaceAll(testSrc, "2 * x[i]", "2*x[i]")
+	o2, err := s.Process(context.Background(), testReq(variant), gap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o2.MemoHit || o2.Computed != 0 {
+		t.Errorf("resubmission: hit=%v computed=%d, want hit with 0 computed", o2.MemoHit, o2.Computed)
+	}
+	if o1.Key != o2.Key {
+		t.Errorf("memo keys differ:\n%s\n%s", o1.Key, o2.Key)
+	}
+	if !bytes.Equal(o1.Body, o2.Body) {
+		t.Error("resubmission body not byte-identical")
+	}
+	// A different machine list is a different response → different key.
+	o3, err := s.Process(context.Background(),
+		Request{Source: testSrc, Machines: []string{"Core2Quad"}}, gap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o3.Key == o1.Key {
+		t.Error("machine list not part of the memo key")
+	}
+}
+
+func TestProcessWarmVsColdByteIdentical(t *testing.T) {
+	resetCaches(t)
+	if err := gap.SetCacheDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewService(Limits{}).Process(context.Background(), testReq(testSrc), gap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh service + cleared measurement memo: only the disk store
+	// survives, as across a daemon restart.
+	gap.ResetMemo()
+	warm, err := NewService(Limits{}).Process(context.Background(), testReq(testSrc), gap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.MemoHit || warm.Computed != 0 {
+		t.Errorf("warm restart: hit=%v computed=%d, want disk hit with 0 computed", warm.MemoHit, warm.Computed)
+	}
+	if !bytes.Equal(cold.Body, warm.Body) {
+		t.Errorf("warm body differs from cold:\ncold %q...\nwarm %q...",
+			cold.Body[:min(80, len(cold.Body))], warm.Body[:min(80, len(warm.Body))])
+	}
+}
+
+func TestProcessRejections(t *testing.T) {
+	resetCaches(t)
+	s := NewService(Limits{})
+	cases := []struct {
+		name string
+		req  Request
+		code Code
+	}{
+		{"oversized", Request{Source: strings.Repeat("x", DefaultLimits().MaxSourceBytes+1)}, CodeTooLarge},
+		{"malformed", Request{Source: "kernel broken("}, CodeParse},
+		{"loop depth", Request{Source: `kernel k(f32 x[2]) {
+			for (a = 0; a < 2; a++) { for (b = 0; b < 2; b++) { for (c = 0; c < 2; c++) {
+			for (d = 0; d < 2; d++) { for (e = 0; e < 2; e++) { x[0] = 1; } } } } } }`}, CodeLimit},
+		{"unknown machine", Request{Source: testSrc, Machines: []string{"PDP11"}}, CodeBadRequest},
+		{"unknown version", Request{Source: testSrc, Versions: []string{"turbo"}}, CodeBadRequest},
+		{"hand-written version", Request{Source: testSrc, Versions: []string{"ninja"}}, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		_, err := s.Process(context.Background(), tc.req, gap.Config{})
+		var se *Error
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error %v is not a *submit.Error", tc.name, err)
+			continue
+		}
+		if se.Code != tc.code {
+			t.Errorf("%s: code %s, want %s", tc.name, se.Code, tc.code)
+		}
+	}
+	if n := len(s.memo); n != 0 {
+		t.Errorf("rejections left %d memo entries", n)
+	}
+}
+
+func TestProcessCancelledContextNotMemoized(t *testing.T) {
+	resetCaches(t)
+	s := NewService(Limits{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Process(ctx, testReq(testSrc), gap.Config{})
+	if err == nil {
+		t.Fatal("cancelled submission succeeded")
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		t.Errorf("context error surfaced as structured rejection %v", se)
+	}
+	if n := len(s.memo); n != 0 {
+		t.Errorf("cancelled submission left %d memo entries", n)
+	}
+	// The same service recovers once the context does.
+	o, err := s.Process(context.Background(), testReq(testSrc), gap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MemoHit {
+		t.Error("memo hit after a run that never completed")
+	}
+}
