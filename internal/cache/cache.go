@@ -186,6 +186,28 @@ func (l *level) markDirty(addr uint64) {
 	}
 }
 
+// probeDemand is the merged demand probe: one set walk that refreshes LRU,
+// claims a prefetched line, and dirties on write — the combined effect of
+// lookup(addr, true) followed by markDirty(addr), in one pass. Counters are
+// the caller's job, exactly as with lookup.
+func (l *level) probeDemand(addr uint64, write bool) (hit, wasPrefetch bool) {
+	set, tag := l.index(addr)
+	l.clock++
+	ways := l.ways(set)
+	for i := range ways {
+		if ways[i].gen == l.gen && ways[i].tag == tag {
+			ways[i].lastUse = l.clock
+			wasPrefetch = ways[i].prefetch
+			ways[i].prefetch = false
+			if write {
+				ways[i].dirty = true
+			}
+			return true, wasPrefetch
+		}
+	}
+	return false, false
+}
+
 // Hierarchy simulates one hardware thread's view of the cache hierarchy.
 // Private levels are exclusive to the owner; the shared LLC is modeled as a
 // per-core capacity partition (capacity interference without coherence
@@ -344,8 +366,7 @@ func (h *Hierarchy) AccessCost(addr uint64, write bool) (Level, float64) {
 		lvl, lat = L1, l0.latency
 	} else {
 		l0.stats.Misses++
-		r := h.accessFrom(1, addr, write)
-		lvl, lat = r.Level, r.Latency
+		lvl, lat = h.missCost(addr, write)
 	}
 	if pf := h.pf; pf != nil {
 		if s := pf.cachedStream(addr >> 12); s != nil && pf.lineShift != 0 &&
@@ -360,6 +381,92 @@ func (h *Hierarchy) AccessCost(addr uint64, write bool) (Level, float64) {
 		}
 	}
 	return lvl, lat
+}
+
+// missCost resolves an access after the L1 probe missed: the cost-path
+// equivalent of accessFrom(1, addr, write), walking L2/L3 with the merged
+// single-pass set probe (probeDemand folds the LRU refresh, prefetch claim
+// and dirty bit into one way scan) and returning only the serving level and
+// latency. Counters, replacement state and DRAM traffic are identical to
+// the Result-building walk.
+func (h *Hierarchy) missCost(addr uint64, write bool) (Level, float64) {
+	for i := 1; i < len(h.levels); i++ {
+		l := h.levels[i]
+		l.stats.Accesses++
+		if hit, wasPF := l.probeDemand(addr, write); hit {
+			l.stats.Hits++
+			if wasPF {
+				l.stats.PrefetchHits++
+			}
+			h.fillUpTo(i, addr, write)
+			return Level(i + 1), l.latency
+		}
+		l.stats.Misses++
+	}
+	h.dramBytes += uint64(h.lineBytes)
+	h.fillUpTo(len(h.levels), addr, write)
+	return Mem, h.memLat
+}
+
+// AccessRun simulates n consecutive demand line accesses starting at the
+// line-aligned address line0 (the interpreter's unit-stride vector loads and
+// stores touch exactly such ascending runs). Side effects are identical to n
+// AccessCost calls in ascending line order. Read miss stalls are charged
+// into *stall per line — (latency - l1Lat)/mlp, added in line order — so the
+// float accumulation order matches the per-line caller exactly; write misses
+// charge no stall (store buffering), and neither do L1 hits (pipelined L1
+// latency). Hoisting the level-0 and prefetcher fields out of the per-line
+// loop is what the batch buys over repeated AccessCost calls.
+func (h *Hierarchy) AccessRun(line0 uint64, n int, write bool, l1Lat, mlp float64, stall *float64) {
+	l0 := h.levels[0]
+	pf := h.pf
+	lb := uint64(h.lineBytes)
+	addr := line0
+	for k := 0; k < n; k++ {
+		lineAddr := addr >> l0.offBits
+		set, tag := lineAddr&l0.setMask, lineAddr>>l0.tagShift
+		l0.stats.Accesses++
+		l0.clock++
+		hit := false
+		ways := l0.ways(set)
+		for i := range ways {
+			if ways[i].gen == l0.gen && ways[i].tag == tag {
+				ways[i].lastUse = l0.clock
+				if ways[i].prefetch {
+					ways[i].prefetch = false
+					l0.stats.PrefetchHits++
+				}
+				if write {
+					ways[i].dirty = true
+				}
+				hit = true
+				break
+			}
+		}
+		if hit {
+			l0.stats.Hits++
+		} else {
+			l0.stats.Misses++
+			_, lat := h.missCost(addr, write)
+			if !write {
+				if pen := lat - l1Lat; pen > 0 {
+					*stall += pen / mlp
+				}
+			}
+		}
+		if pf != nil {
+			if s := pf.cachedStream(addr >> 12); s != nil && pf.lineShift != 0 &&
+				addr>>pf.lineShift == s.lastLine {
+				// Same page, same line: observe would be a no-op (see
+				// AccessCost).
+			} else {
+				for _, pa := range pf.observe(addr) {
+					h.prefetchFill(pa)
+				}
+			}
+		}
+		addr += lb
+	}
 }
 
 // accessFrom walks the hierarchy from level index `from` after the levels

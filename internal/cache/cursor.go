@@ -16,11 +16,15 @@ type LineCursor struct {
 	tag      uint64
 	way      *line
 	valid    bool
-	// miss counts consecutive general-path touches. Streams that never
-	// qualify for the fast path (several distinct lines alternating on one
-	// page keep the prefetcher advancing, so pfWouldSkip never holds) stop
-	// paying the reseat probe after a few misses and retry only rarely;
-	// the cursor then costs two compares over a bare AccessCost call.
+	// miss balances general-path touches against fast-path hits: a miss
+	// increments it, a hit decrements it. Streams that mostly hit (unit
+	// strides, line-local walks) hover near zero and keep reseating after
+	// the occasional line change; streams whose hits are rare or absent
+	// (pointer chasing: a tree descent re-touches only the root's line a
+	// few times per query) climb past the threshold and stop paying the
+	// reseat probe, retrying only rarely — the cursor then costs two
+	// compares over a bare AccessCost call. A full reset on hit would keep
+	// the rare-hit streams inside the reseat window indefinitely.
 	miss uint8
 }
 
@@ -55,7 +59,9 @@ func (h *Hierarchy) TouchLine(cur *LineCursor, lineAddr uint64, write bool) (Lev
 		// AccessCost skips; then an access is exactly: one L1 probe that
 		// hits, refreshes LRU, and dirties on write.
 		if w.gen == l0.gen && w.tag == cur.tag && !w.prefetch && h.pfWouldSkip(lineAddr) {
-			cur.miss = 0
+			if cur.miss > 0 {
+				cur.miss--
+			}
 			l0.stats.Accesses++
 			l0.clock++
 			w.lastUse = l0.clock

@@ -2,20 +2,31 @@ package cache
 
 import "math/bits"
 
+// trackerCap is the stream-tracker capacity (entries, like real streamers).
+const trackerCap = 32
+
 // prefetcher is a table-based stride prefetcher in the style of the L1/L2
 // streamers on the modeled parts: it tracks access streams per 4 KiB page,
 // detects a constant line-granular stride after two confirmations, and then
 // runs `degree` lines ahead of the demand stream.
+//
+// The tracker is a fixed array in round-robin insertion order, which with a
+// full table is exactly FIFO eviction: the slot inserted longest ago is the
+// next victim. A map held the same entries in earlier versions; the array
+// removes the map and per-stream allocations from the demand path without
+// changing which streams exist or when they are evicted.
 type prefetcher struct {
 	degree    int
 	lineBytes uint64
-	entries   map[uint64]*stream // keyed by page number
-	order     []uint64           // FIFO of pages for capacity eviction
-	capacity  int
+
+	pages   [trackerCap]uint64 // page number per live slot
+	streams [trackerCap]stream
+	live    int // slots 0..live-1 hold streams (eviction overwrites, never shrinks)
+	next    int // round-robin insertion cursor = FIFO victim when full
 
 	// Hot-path caches: demand streams stay on a handful of pages (one per
 	// live array) for many accesses, so a small direct-mapped cache of
-	// recently resolved streams short-circuits the map lookup even when a
+	// recently resolved streams short-circuits the tracker scan even when a
 	// kernel interleaves touches to several arrays; buf is the reused
 	// output slice (consumed before the next observe call).
 	lastPages   [streamSlots]uint64
@@ -25,10 +36,12 @@ type prefetcher struct {
 }
 
 // streamSlots sizes the resolved-stream cache (must be a power of two).
-// Sixteen slots keep every live stream of the widest shipped kernels (a
-// handful of arrays, each one stream per touched page) resolved without
-// map lookups on the demand path.
-const streamSlots = 16
+// Sixty-four slots cover every live stream of the widest shipped kernels —
+// including the pointer-chasing ones, where a tree descent touches a dozen
+// pages per query and a 16-slot cache thrashed on page-number conflicts —
+// without tracker scans on the demand path. The cache is transparent: it
+// mirrors entries in the tracker table, so its size changes wall-clock only.
+const streamSlots = 64
 
 type stream struct {
 	lastLine  uint64
@@ -40,8 +53,6 @@ func newPrefetcher(degree, lineBytes int) *prefetcher {
 	p := &prefetcher{
 		degree:    degree,
 		lineBytes: uint64(lineBytes),
-		entries:   make(map[uint64]*stream),
-		capacity:  32, // tracker entries, like real streamers
 		buf:       make([]uint64, 0, degree),
 	}
 	if lb := uint64(lineBytes); lb > 1 && lb&(lb-1) == 0 {
@@ -52,8 +63,7 @@ func newPrefetcher(degree, lineBytes int) *prefetcher {
 
 // reset forgets all streams (used when a pooled hierarchy is recycled).
 func (p *prefetcher) reset() {
-	clear(p.entries)
-	p.order = p.order[:0]
+	p.live, p.next = 0, 0
 	p.lastStreams = [streamSlots]*stream{}
 }
 
@@ -69,8 +79,7 @@ func (p *prefetcher) cachedStream(page uint64) *stream {
 
 // cacheStream records a resolved stream in the direct-mapped cache.
 func (p *prefetcher) cacheStream(page uint64, s *stream) {
-	slot := page & (streamSlots - 1)
-	p.lastPages[slot], p.lastStreams[slot] = page, s
+	p.lastPages[page&(streamSlots-1)], p.lastStreams[page&(streamSlots-1)] = page, s
 }
 
 // observe records a demand access and returns the addresses to prefetch.
@@ -85,24 +94,34 @@ func (p *prefetcher) observe(addr uint64) []uint64 {
 	}
 	s := p.cachedStream(page)
 	if s == nil {
-		if e, ok := p.entries[page]; ok {
-			s = e
-			p.cacheStream(page, s)
-		} else {
-			if len(p.entries) >= p.capacity {
-				oldest := p.order[0]
-				n := copy(p.order, p.order[1:])
-				p.order = p.order[:n]
-				delete(p.entries, oldest)
-				slot := oldest & (streamSlots - 1)
-				if p.lastStreams[slot] != nil && p.lastPages[slot] == oldest {
+		for i := 0; i < p.live; i++ {
+			if p.pages[i] == page {
+				s = &p.streams[i]
+				p.cacheStream(page, s)
+				break
+			}
+		}
+		if s == nil {
+			// Install a fresh stream, evicting the FIFO victim when full.
+			i := p.next
+			if p.live < trackerCap {
+				p.live++
+			} else {
+				// The evicted page must leave the resolved-stream cache:
+				// its slot's struct is about to be reused for the new page.
+				old := p.pages[i]
+				slot := old & (streamSlots - 1)
+				if p.lastStreams[slot] != nil && p.lastPages[slot] == old {
 					p.lastStreams[slot] = nil
 				}
 			}
-			s = &stream{lastLine: lineAddr}
-			p.entries[page] = s
-			p.order = append(p.order, page)
-			p.cacheStream(page, s)
+			p.next++
+			if p.next == trackerCap {
+				p.next = 0
+			}
+			p.pages[i] = page
+			p.streams[i] = stream{lastLine: lineAddr}
+			p.cacheStream(page, &p.streams[i])
 			return nil
 		}
 	}

@@ -40,6 +40,19 @@ type bInstr struct {
 	op vm.Op
 	w  int // effective SIMD width (1 for Scalar instructions)
 
+	// fn is the pre-bound handler dispatch target. For a fused
+	// superinstruction it is hFused, fnA holds the instruction's own
+	// handler, next points at the absorbed successor, and fuse is how many
+	// extra instructions the dispatch covers (see fuse.go).
+	fn   handlerFn
+	fnA  handlerFn
+	next *bInstr
+	fuse uint8
+
+	// idx is the instruction's arena index; per-thread per-instruction
+	// state (the scalar-access line cursors) is keyed by it.
+	idx int32
+
 	// Register-file offsets (register index * vm.MaxLanes).
 	dst, a, b, c int
 
@@ -121,7 +134,10 @@ func (e *engine) carriedStallFor(cl machine.OpClass, lanes, unroll int) float64 
 func (e *engine) bind(fp *vm.FlatProg) *boundProg {
 	bp := &boundProg{instrs: make([]bInstr, len(fp.Instrs)), top: fp.Top}
 	for i := range fp.Instrs {
-		e.bindInstr(&bp.instrs[i], &fp.Instrs[i])
+		bi := &bp.instrs[i]
+		e.bindInstr(bi, &fp.Instrs[i])
+		bi.idx = int32(i)
+		bi.fn = handlerFor(bi.op)
 	}
 	if e.mbMinTrip > 0 {
 		// Attach macro-block replay plans to eligible vector loops. Plans
@@ -133,6 +149,9 @@ func (e *engine) bind(fp *vm.FlatProg) *boundProg {
 				bi.plan = e.planLoop(fp, bp, int32(i))
 			}
 		}
+	}
+	if !e.opt.NoFuse {
+		e.fuse(bp, fp)
 	}
 	return bp
 }

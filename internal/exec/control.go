@@ -80,6 +80,7 @@ func (t *threadCtx) vecLoopRange(bi *bInstr, lo, hi int64, unroll int) {
 				} else {
 					p.zeroRuns.Store(0)
 					mbCoverage.Add(uint64(k))
+					mbReplayedDyn.Add(uint64(k) * p.perIterDyn)
 				}
 				start = lo + k*W
 				trip = k

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"unsafe"
 
 	"ninjagap/internal/cache"
 	"ninjagap/internal/machine"
@@ -213,6 +214,15 @@ func (e *engine) getThread(id int, prefetch bool) *threadCtx {
 		t.regs = t.regs[:n]
 		clear(t.regs)
 	}
+	t.regBase = unsafe.Pointer(&t.regs[0])
+	ni := len(e.bp.instrs)
+	if cap(t.cursors) < ni {
+		t.cursors = make([]cache.LineCursor, ni)
+	} else {
+		t.cursors = t.cursors[:ni]
+		clear(t.cursors)
+	}
+	t.nFused = 0
 	t.mask = t.fullMask()
 	t.act = e.W
 	t.maskStack = t.maskStack[:0]
@@ -225,9 +235,15 @@ func (e *engine) getThread(id int, prefetch bool) *threadCtx {
 }
 
 // releaseThreads returns the contexts to the pool. The engine pointer is
-// cleared so a pooled context cannot pin a finished run's memory.
+// cleared so a pooled context cannot pin a finished run's memory. Each
+// thread's fused-dispatch tally is folded into the process-wide counter
+// here, once per run, keeping the hot path free of atomics.
 func (e *engine) releaseThreads() {
 	for _, t := range e.threads {
+		if t.nFused != 0 {
+			fusedInstrs.Add(t.nFused)
+			t.nFused = 0
+		}
 		t.e = nil
 		e.pool.Put(t)
 	}
@@ -241,13 +257,17 @@ func (e *engine) releaseThreads() {
 func (e *engine) runTop() error {
 	main := e.threads[0]
 	top := e.bp.top
-	for i := top.Start; i < top.End; i++ {
+	for i := top.Start; i < top.End; {
 		bi := &e.bp.instrs[i]
+		// A fused superinstruction covers bi.fuse trailing instructions
+		// (its first element is never a parallel loop, see fuse.go).
+		adv := 1 + int32(bi.fuse)
 		if bi.op != vm.OpParLoop || len(e.threads) == 1 {
-			main.instr(bi)
+			bi.fn(main, bi)
 			if main.err != nil {
 				return main.err
 			}
+			i += adv
 			continue
 		}
 		// Close the current sequential segment before forking.
@@ -255,6 +275,7 @@ func (e *engine) runTop() error {
 		if err := e.parLoop(bi); err != nil {
 			return err
 		}
+		i += adv
 	}
 	e.flushSegment(e.threads[:1], false)
 	return nil

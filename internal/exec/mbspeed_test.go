@@ -56,7 +56,11 @@ func TestMBSpeedRegression(t *testing.T) {
 		t.Skip("timing comparison is meaningless under the race detector")
 	}
 	m := machine.WestmereX980()
-	computeBound := map[string]bool{"blackscholes": true, "conv2d": true, "nbody": true}
+	// conv2d is no longer in this set: threaded dispatch plus fusion made
+	// pure interpretation fast enough that forced replay's margin on its
+	// short rows is within shared-CI noise (auto, which declines the
+	// unprofitable entries, still beats off and is checked below).
+	computeBound := map[string]bool{"blackscholes": true, "nbody": true}
 	for _, b := range kernels.All() {
 		name := b.Name()
 		n := legalN(b, int(float64(b.DefaultN())*0.25))

@@ -27,6 +27,34 @@ func (t *threadCtx) touchLineMLP(lineAddr uint64, write bool, mlp float64) {
 	}
 }
 
+// touchCursor is touchLineMLP through the instruction's per-thread line
+// cursor: the scalar load/store paths touch one line per access and very
+// often the same line many times in a row (merge runs, ray marches, tree
+// levels near the root), which the cursor's L1 fast path serves without a
+// set probe or prefetcher lookup — bit-identically, see cache.TouchLine.
+func (t *threadCtx) touchCursor(bi *bInstr, lineAddr uint64, write bool, mlp float64) {
+	lvl, lat := t.hier.TouchLine(&t.cursors[bi.idx], lineAddr, write)
+	if write || lvl == cache.L1 {
+		return
+	}
+	pen := lat - t.e.l1Latency
+	if pen > 0 {
+		t.cost.stall += pen / mlp
+	}
+}
+
+// accessRun simulates the ascending duplicate-free line run [first, last]
+// of a contiguous vector access via the hierarchy's batched path,
+// accumulating read miss stalls in line order (bit-identical to per-line
+// touchLineMLP calls).
+func (t *threadCtx) accessRun(first, last uint64, write bool, mlp float64) {
+	n := 1
+	if last != first {
+		n += int((last - first) / uint64(t.e.lineBytes))
+	}
+	t.hier.AccessRun(first, n, write, t.e.l1Latency, mlp, &t.cost.stall)
+}
+
 func (t *threadCtx) boundsErr(bi *bInstr, idx int64) {
 	t.fail(fmt.Errorf("exec: prog %s: %s on array %s: index %d out of range [0,%d)",
 		t.e.prog.Name, bi.op, bi.arr.Name, idx, len(bi.arr.Data)))
@@ -38,7 +66,7 @@ func (t *threadCtx) boundsErr(bi *bInstr, idx int64) {
 // strides degrade to a gather.
 func (t *threadCtx) load(bi *bInstr, w int) {
 	arr := bi.arr
-	base := int64(t.regs[bi.a])
+	base := int64(t.reg(bi.a)[0])
 	d := t.reg(bi.dst)
 	eb := bi.eb
 
@@ -50,7 +78,7 @@ func (t *threadCtx) load(bi *bInstr, w int) {
 		d[0] = arr.Data[base]
 		t.cost.add(bi.ch)
 		t.cost.stall += bi.carriedStall
-		t.touchLineMLP(t.e.lineOf(arr.Base+uint64(base)*eb), false, bi.mlp)
+		t.touchCursor(bi, t.e.lineOf(arr.Base+uint64(base)*eb), false, bi.mlp)
 		return
 	}
 
@@ -71,9 +99,7 @@ func (t *threadCtx) load(bi *bInstr, w int) {
 		t.cost.stall += bi.carriedStall
 		first := t.e.lineOf(arr.Base + uint64(base)*eb)
 		last := t.e.lineOf(arr.Base + uint64(base+int64(w)-1)*eb)
-		for la := first; la <= last; la += uint64(t.e.lineBytes) {
-			t.touchLineMLP(la, false, bi.mlp)
-		}
+		t.accessRun(first, last, false, bi.mlp)
 		return
 	}
 	t.slowLoad(bi, w, base)
@@ -140,7 +166,7 @@ func (t *threadCtx) slowLoad(bi *bInstr, w int, base int64) {
 // store implements OpStore: lane l writes arr[base + l*stride] (masked).
 func (t *threadCtx) store(bi *bInstr, w int) {
 	arr := bi.arr
-	base := int64(t.regs[bi.b])
+	base := int64(t.reg(bi.b)[0])
 	v := t.reg(bi.a)
 	eb := bi.eb
 
@@ -151,7 +177,7 @@ func (t *threadCtx) store(bi *bInstr, w int) {
 		}
 		arr.Data[base] = v[0]
 		t.cost.add(bi.ch)
-		t.touchLineMLP(t.e.lineOf(arr.Base+uint64(base)*eb), true, bi.mlp)
+		t.touchCursor(bi, t.e.lineOf(arr.Base+uint64(base)*eb), true, bi.mlp)
 		return
 	}
 
@@ -167,9 +193,7 @@ func (t *threadCtx) store(bi *bInstr, w int) {
 		t.cost.add(bi.ch)
 		first := t.e.lineOf(arr.Base + uint64(base)*eb)
 		last := t.e.lineOf(arr.Base + uint64(base+int64(w)-1)*eb)
-		for la := first; la <= last; la += uint64(t.e.lineBytes) {
-			t.touchLineMLP(la, true, bi.mlp)
-		}
+		t.accessRun(first, last, true, bi.mlp)
 		return
 	}
 	t.slowStore(bi, w, base)

@@ -29,6 +29,13 @@ type Options struct {
 	// Bounds are always checked; this flag only enriches diagnostics.
 	CheckBounds bool
 
+	// NoFuse disables bind-time superinstruction fusion (see fuse.go).
+	// Fused dispatch is bit-identical to unfused dispatch by construction,
+	// so the flag changes wall-clock only; it exists for the differential
+	// tests and the dispatch speed gate and is not part of any cache
+	// identity.
+	NoFuse bool
+
 	// Macroblock selects the macro-block (characterize-and-replay) execution
 	// mode for affine inner loops: "off" never replays, "on" replays every
 	// eligible loop, "auto" (also the "" zero value) replays eligible loops

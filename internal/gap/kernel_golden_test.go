@@ -1,0 +1,80 @@
+package gap
+
+// Per-kernel golden byte-identity tests for the kernels most exposed to
+// the engine's dispatch rework: the irregular, interpreter-bound kernels
+// (treesearch's pointer chasing, mergesort's data-dependent merges) plus
+// the structured-grid pair (volumerender's ray loops, lbm's stencil).
+// Unlike the rendered-figure goldens, these pin the raw exec.Result of
+// every ladder version — every float64 of the cycle decomposition, port
+// occupancy and cache statistics — via Go's shortest-exact float
+// formatting, so a single ULP of drift anywhere in the simulation fails
+// the diff. Regenerate deliberately with
+//
+//	go test ./internal/gap -run TestGoldenKernel -update
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ninjagap/internal/kernels"
+	"ninjagap/internal/machine"
+)
+
+func kernelGoldenCheck(t *testing.T, name string) {
+	t.Helper()
+	var bench kernels.Benchmark
+	for _, b := range kernels.All() {
+		if b.Name() == name {
+			bench = b
+			break
+		}
+	}
+	if bench == nil {
+		t.Fatalf("unknown kernel %q", name)
+	}
+	m := machine.WestmereX980()
+	n := SizeFor(bench, Config{Scale: 0.05})
+	var cells []Cell
+	for _, v := range kernels.Versions() {
+		cells = append(cells, Cell{Bench: bench, Version: v, Machine: m, N: n})
+	}
+	ms, err := RunCells(Config{Jobs: 1}, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ""
+	for i, mm := range ms {
+		got += fmt.Sprintf("%s/%s n=%d threads=%d\n%+v\n",
+			name, cells[i].Version, n, mm.Threads, *mm.Res)
+	}
+	path := filepath.Join("testdata", name+"_smoke.golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s results diverged from %s\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, want)
+	}
+}
+
+// TestGoldenKernelTreesearch pins the pointer-chasing tree lookup kernel.
+func TestGoldenKernelTreesearch(t *testing.T) { kernelGoldenCheck(t, "treesearch") }
+
+// TestGoldenKernelMergesort pins the data-dependent merge kernel.
+func TestGoldenKernelMergesort(t *testing.T) { kernelGoldenCheck(t, "mergesort") }
+
+// TestGoldenKernelVolumerender pins the ray-casting kernel.
+func TestGoldenKernelVolumerender(t *testing.T) { kernelGoldenCheck(t, "volumerender") }
+
+// TestGoldenKernelLBM pins the lattice-Boltzmann stencil kernel.
+func TestGoldenKernelLBM(t *testing.T) { kernelGoldenCheck(t, "lbm") }

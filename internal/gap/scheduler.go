@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"ninjagap/internal/exec"
@@ -194,6 +195,21 @@ func (s *Scheduler) measure(ctx context.Context, c Cell) (*Measurement, error) {
 	})
 }
 
+// measureLabeled runs measure with pprof labels naming the cell, so a CPU
+// profile of an experiment run attributes engine samples to the benchmark,
+// version and machine being simulated rather than to an anonymous worker
+// goroutine (`go tool pprof -tags`, or -focus on one label value).
+func (s *Scheduler) measureLabeled(ctx context.Context, c Cell) (m *Measurement, err error) {
+	pprof.Do(ctx, pprof.Labels(
+		"bench", c.Bench.Name(),
+		"version", c.Version.String(),
+		"machine", c.Machine.Name,
+	), func(ctx context.Context) {
+		m, err = s.measure(ctx, c)
+	})
+	return m, err
+}
+
 // errsPool recycles Run's per-batch error slates. The experiment drivers
 // call Run once per figure row and almost every batch finishes clean, so
 // without the pool the all-nil slices are pure churn.
@@ -240,7 +256,7 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) ([]*Measurement, erro
 				errs[i] = context.Cause(ctx)
 				continue
 			}
-			m, err := s.measure(ctx, cells[i])
+			m, err := s.measureLabeled(ctx, cells[i])
 			if err != nil {
 				errs[i] = err
 				cancel()
@@ -262,7 +278,7 @@ func (s *Scheduler) Run(ctx context.Context, cells []Cell) ([]*Measurement, erro
 					errs[i] = context.Cause(ctx)
 					continue
 				}
-				m, err := s.measure(ctx, cells[i])
+				m, err := s.measureLabeled(ctx, cells[i])
 				if err != nil {
 					errs[i] = err
 					cancel()

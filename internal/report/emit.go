@@ -126,6 +126,15 @@ type WallclockRecord struct {
 	// (Runs/WallSeconds and SimInstrs*Runs/WallSeconds).
 	CellsPerSec     float64 `json:"cells_per_sec"`
 	SimInstrsPerSec float64 `json:"sim_instrs_per_sec"`
+	// FusedFrac and ReplayFrac decompose how the engine executed the
+	// cell's dynamic instructions: the fraction dispatched through fused
+	// superinstruction handlers, and the fraction covered analytically by
+	// macro-block replay instead of interpretation. Both are exact counts
+	// over the timed rounds divided by SimInstrs*Runs; they explain the
+	// wall-clock rate (replayed instructions are far cheaper than
+	// interpreted ones) without affecting any simulated number.
+	FusedFrac  float64 `json:"fused_frac"`
+	ReplayFrac float64 `json:"replay_frac"`
 }
 
 // Wallclock is the simulator-performance section of a snapshot, written

@@ -109,6 +109,10 @@ const (
 	numOps
 )
 
+// NumOps is the number of defined ops; dense per-op tables (e.g. the
+// execution engine's handler table) are sized with it.
+const NumOps = int(numOps)
+
 var opNames = [...]string{
 	"nop",
 	"add", "sub", "mul", "div", "min", "max",
